@@ -1,0 +1,115 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	experiments                  # everything at paper scale (slow)
+//	experiments -quick           # everything at smoke-test scale
+//	experiments -table 3         # one table
+//	experiments -figure conv     # one figure: 1 | conv | speedup
+//	experiments -o report.txt    # also write the output to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/paperdata"
+)
+
+var compare = flag.Bool("compare", false, "print a measured-vs-paper winner comparison after each table")
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "reduced budget (fast smoke run)")
+		table   = flag.Int("table", 0, "regenerate only this table (1-6)")
+		figure  = flag.String("figure", "", "regenerate only this figure: 1 | conv | speedup | sweep | incr")
+		outPath = flag.String("o", "", "also write the report to this file")
+		runs    = flag.Int("runs", 0, "override run count")
+		gens    = flag.Int("gens", 0, "override generations")
+	)
+	flag.Parse()
+
+	opt := bench.Paper()
+	if *quick {
+		opt = bench.Quick()
+	}
+	if *runs > 0 {
+		opt.Runs = *runs
+	}
+	if *gens > 0 {
+		opt.Generations = *gens
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	fmt.Fprintf(out, "Experiment configuration: %+v\n\n", opt)
+	start := time.Now()
+
+	switch {
+	case *table != 0:
+		emitTable(out, *table, opt)
+	case *figure != "":
+		emitFigure(out, *figure, opt)
+	default:
+		for i := 1; i <= 6; i++ {
+			emitTable(out, i, opt)
+		}
+		emitFigure(out, "1", opt)
+		emitFigure(out, "conv", opt)
+		emitFigure(out, "speedup", opt)
+	}
+	fmt.Fprintf(out, "total time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func emitTable(out io.Writer, id int, opt bench.Options) {
+	fns := map[int]func(bench.Options) bench.Table{
+		1: bench.Table1, 2: bench.Table2, 3: bench.Table3,
+		4: bench.Table4, 5: bench.Table5, 6: bench.Table6,
+	}
+	fn, ok := fns[id]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "experiments: no such table", id)
+		os.Exit(1)
+	}
+	start := time.Now()
+	t := fn(opt)
+	fmt.Fprintln(out, t.Format())
+	if *compare {
+		fmt.Fprintln(out, paperdata.Compare(id, t).Format())
+	}
+	fmt.Fprintf(out, "[%s regenerated in %s]\n\n", t.ID, time.Since(start).Round(time.Millisecond))
+}
+
+func emitFigure(out io.Writer, id string, opt bench.Options) {
+	start := time.Now()
+	switch id {
+	case "1":
+		fmt.Fprintln(out, bench.Figure1())
+	case "conv":
+		fmt.Fprintln(out, bench.Convergence(opt).Format())
+	case "speedup":
+		fmt.Fprintln(out, bench.Speedup(opt).Format())
+	case "sweep":
+		fmt.Fprintln(out, bench.ParamSweep(opt).Format())
+	case "incr":
+		fmt.Fprintln(out, bench.IncrementalConvergence(opt).Format())
+	default:
+		fmt.Fprintln(os.Stderr, "experiments: no such figure", id)
+		os.Exit(1)
+	}
+	fmt.Fprintf(out, "[figure %s regenerated in %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,234 @@
+// Command gapart partitions a graph with any of the algorithms in this
+// repository and reports the quality metrics of the result.
+//
+// Usage:
+//
+//	gapart -graph mesh.g -algo dknux -parts 8 [-objective worst] [-gens 200]
+//	gapart -mesh 167 -algo rsb -parts 4
+//
+// The input graph is either read from a file (-graph; the native text
+// format, or METIS/Chaco for .metis/.graph suffixes) or generated from the
+// deterministic benchmark suite (-mesh N). Algorithms: dknux, knux, ux,
+// 2pt, rsb, ibp, rcb, rgb, kl, fm, anneal, multilevel, grow, scattered,
+// strip. The partition is written as "node part" lines with -out and
+// rendered as SVG with -svg.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"repro/internal/anneal"
+	"repro/internal/dpga"
+	"repro/internal/fm"
+	"repro/internal/ga"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/greedy"
+	"repro/internal/ibp"
+	"repro/internal/kl"
+	"repro/internal/multilevel"
+	"repro/internal/partition"
+	"repro/internal/rcb"
+	"repro/internal/spectral"
+	"repro/internal/viz"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "graph file in the text format (see package graph)")
+		meshN     = flag.Int("mesh", 0, "generate a benchmark mesh with this many nodes instead of reading a file")
+		algo      = flag.String("algo", "dknux", "algorithm: dknux|knux|ux|2pt|rsb|ibp|rcb|rgb|kl|fm|anneal|multilevel|grow|scattered|strip")
+		parts     = flag.Int("parts", 4, "number of parts")
+		objective = flag.String("objective", "total", "fitness function: total (Fitness 1) or worst (Fitness 2)")
+		gens      = flag.Int("gens", 200, "GA generations")
+		pop       = flag.Int("pop", 320, "GA total population")
+		islands   = flag.Int("islands", 16, "GA subpopulations (1 = single population)")
+		seed      = flag.Int64("seed", 1994, "random seed")
+		outPath   = flag.String("out", "", "write the partition as 'node part' lines to this file")
+		svgPath   = flag.String("svg", "", "render the partitioned graph as SVG to this file")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*graphPath, *meshN)
+	if err != nil {
+		fatal(err)
+	}
+	obj := partition.TotalCut
+	if *objective == "worst" {
+		obj = partition.WorstCut
+	} else if *objective != "total" {
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+
+	p, err := run(g, *algo, *parts, obj, *gens, *pop, *islands, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	report(g, p, obj)
+
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		for v, q := range p.Assign {
+			fmt.Fprintf(f, "%d %d\n", v, q)
+		}
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := viz.WriteSVG(f, g, p, viz.Options{ShowCutEdges: true}); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+}
+
+func loadGraph(path string, meshN int) (*graph.Graph, error) {
+	switch {
+	case path != "" && meshN != 0:
+		return nil, fmt.Errorf("use either -graph or -mesh, not both")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		// .metis / .graph files use the METIS/Chaco format; everything else
+		// the native text format.
+		if strings.HasSuffix(path, ".metis") || strings.HasSuffix(path, ".graph") {
+			return graph.ReadMETIS(f)
+		}
+		return graph.Read(f)
+	case meshN >= 3:
+		return gen.Mesh(meshN, gen.SuiteSeed+int64(meshN)), nil
+	default:
+		return nil, fmt.Errorf("need -graph FILE or -mesh N (N >= 3)")
+	}
+}
+
+func run(g *graph.Graph, algo string, parts int, obj partition.Objective,
+	gens, pop, islands int, seed int64) (*partition.Partition, error) {
+
+	rng := rand.New(rand.NewSource(seed))
+	switch algo {
+	case "rsb":
+		return spectral.Partition(g, parts, rng)
+	case "ibp":
+		return ibp.Partition(g, parts, ibp.ShuffledRowMajor)
+	case "rcb":
+		return rcb.Partition(g, parts, rcb.Coordinate)
+	case "rgb":
+		return rcb.Partition(g, parts, rcb.GraphBFS)
+	case "kl":
+		p, err := spectral.Partition(g, parts, rng)
+		if err != nil {
+			return nil, err
+		}
+		kl.Refine(g, p, 0)
+		return p, nil
+	case "anneal":
+		return anneal.Partition(g, anneal.Config{Parts: parts, Objective: obj, Seed: seed})
+	case "fm":
+		p, err := greedy.RegionGrow(g, parts)
+		if err != nil {
+			return nil, err
+		}
+		fm.Refine(g, p, fm.Config{})
+		return p, nil
+	case "grow":
+		return greedy.RegionGrow(g, parts)
+	case "scattered":
+		return greedy.Scattered(g.NumNodes(), parts)
+	case "strip":
+		return greedy.StripIndex(g, parts)
+	case "multilevel":
+		return multilevel.Partition(g, multilevel.Config{Parts: parts, Seed: seed},
+			func(cg *graph.Graph, cp int, r *rand.Rand) (*partition.Partition, error) {
+				return spectral.Partition(cg, cp, r)
+			})
+	case "dknux", "knux", "ux", "2pt":
+		return runGA(g, algo, parts, obj, gens, pop, islands, seed)
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}
+
+func runGA(g *graph.Graph, algo string, parts int, obj partition.Objective,
+	gens, pop, islands int, seed int64) (*partition.Partition, error) {
+
+	// Seed the population with IBP when coordinates exist (the paper's
+	// recommended practice), otherwise start random.
+	var seeds []*partition.Partition
+	if g.HasCoords() {
+		if s, err := ibp.Partition(g, parts, ibp.ShuffledRowMajor); err == nil {
+			seeds = append(seeds, s)
+		}
+	}
+	estimate := func(i int) *partition.Partition {
+		if len(seeds) > 0 {
+			return seeds[i%len(seeds)]
+		}
+		return partition.RandomBalanced(g.NumNodes(), parts, rand.New(rand.NewSource(seed+int64(i))))
+	}
+	mkOp := func(i int) ga.Crossover {
+		switch algo {
+		case "dknux":
+			return ga.NewDKNUX(estimate(i))
+		case "knux":
+			return ga.NewKNUX(estimate(i))
+		case "ux":
+			return ga.Uniform{}
+		default: // "2pt"
+			return ga.KPoint{K: 2}
+		}
+	}
+	base := ga.Config{
+		Parts:     parts,
+		Objective: obj,
+		PopSize:   pop,
+		Seeds:     seeds,
+		Seed:      seed,
+	}
+	if islands <= 1 {
+		base.Crossover = mkOp(0)
+		e, err := ga.New(g, base)
+		if err != nil {
+			return nil, err
+		}
+		return e.Run(gens).Part, nil
+	}
+	m, err := dpga.New(g, dpga.Config{
+		Base:             base,
+		Islands:          islands,
+		Parallel:         true,
+		CrossoverFactory: mkOp,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m.Run(gens).Part, nil
+}
+
+func report(g *graph.Graph, p *partition.Partition, obj partition.Objective) {
+	fmt.Printf("nodes: %d  edges: %d  parts: %d\n", g.NumNodes(), g.NumEdges(), p.Parts)
+	fmt.Printf("cut size (sum_q C(q)/2): %.0f\n", p.CutSize(g))
+	fmt.Printf("worst cut (max_q C(q)):  %.0f\n", p.MaxPartCut(g))
+	fmt.Printf("imbalance^2:             %.2f\n", p.ImbalanceSq(g))
+	fmt.Printf("part sizes:              %v\n", p.PartSizes())
+	fmt.Printf("fitness (%s): %.2f\n", obj, p.Fitness(g, obj))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gapart:", err)
+	os.Exit(1)
+}

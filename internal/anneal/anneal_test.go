@@ -1,0 +1,147 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func TestPartitionBasics(t *testing.T) {
+	g := gen.PaperGraph(78)
+	p, err := Partition(g, Config{Parts: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Annealing must be far better than random.
+	rng := rand.New(rand.NewSource(2))
+	rnd := partition.RandomBalanced(g.NumNodes(), 4, rng)
+	if p.Fitness(g, partition.TotalCut) <= rnd.Fitness(g, partition.TotalCut) {
+		t.Errorf("annealed fitness %v not better than random %v",
+			p.Fitness(g, partition.TotalCut), rnd.Fitness(g, partition.TotalCut))
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := gen.Mesh(20, 1)
+	if _, err := Partition(g, Config{Parts: 0}); err == nil {
+		t.Error("0 parts accepted")
+	}
+	start := partition.New(20, 4)
+	if _, err := Improve(g, start, Config{Parts: 2}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("mismatched parts accepted")
+	}
+}
+
+func TestImproveNeverWorseThanStart(t *testing.T) {
+	g := gen.PaperGraph(98)
+	rng := rand.New(rand.NewSource(3))
+	start := partition.RandomBalanced(g.NumNodes(), 4, rng)
+	got, err := Improve(g, start, Config{Parts: 4}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fitness(g, partition.TotalCut) < start.Fitness(g, partition.TotalCut) {
+		t.Error("annealing returned worse than its start")
+	}
+	// Start must be unmodified.
+	if !start.Balanced() {
+		t.Error("start partition was mutated")
+	}
+}
+
+func TestWorstCutObjective(t *testing.T) {
+	g := gen.PaperGraph(78)
+	p, err := Partition(g, Config{Parts: 4, Objective: partition.WorstCut, Seed: 5,
+		Cooling: 0.9}) // faster schedule for the test
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	rnd := partition.RandomBalanced(g.NumNodes(), 4, rng)
+	if p.MaxPartCut(g) >= rnd.MaxPartCut(g) {
+		t.Errorf("annealed worst cut %v not better than random %v",
+			p.MaxPartCut(g), rnd.MaxPartCut(g))
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	g := gen.Mesh(50, 7)
+	a, err := Partition(g, Config{Parts: 4, Seed: 9, Cooling: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Partition(g, Config{Parts: 4, Seed: 9, Cooling: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Assign {
+		if a.Assign[v] != b.Assign[v] {
+			t.Fatal("same seed, different results")
+		}
+	}
+}
+
+func TestMoveDeltaMatchesFullEvaluation(t *testing.T) {
+	g := gen.Mesh(40, 11)
+	rng := rand.New(rand.NewSource(13))
+	p := partition.RandomBalanced(40, 4, rng)
+	for trial := 0; trial < 200; trial++ {
+		v := rng.Intn(40)
+		to := rng.Intn(4)
+		if int(p.Assign[v]) == to {
+			continue
+		}
+		before := p.Fitness(g, partition.TotalCut)
+		want := func() float64 {
+			from := p.Assign[v]
+			p.Assign[v] = uint16(to)
+			after := p.Fitness(g, partition.TotalCut)
+			p.Assign[v] = from
+			return after - before
+		}()
+		got := moveDelta(g, p, partition.TotalCut, v, to)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: moveDelta = %v, full evaluation = %v", trial, got, want)
+		}
+		// Occasionally accept the move so we test from varied states.
+		if trial%3 == 0 {
+			p.Assign[v] = uint16(to)
+		}
+	}
+}
+
+func TestCalibrateTempPositive(t *testing.T) {
+	g := gen.Mesh(60, 15)
+	rng := rand.New(rand.NewSource(17))
+	p := partition.RandomBalanced(60, 4, rng)
+	temp := calibrateTemp(g, p, Config{Parts: 4}, rng)
+	if temp <= 0 || math.IsInf(temp, 0) || math.IsNaN(temp) {
+		t.Errorf("calibrated temp = %v", temp)
+	}
+}
+
+// Property: annealing output is always a valid partition and at least as fit
+// as a fresh random baseline with the same seed.
+func TestQuickAnnealSane(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 12 + rng.Intn(50)
+		g := gen.Mesh(n, seed)
+		parts := 2 + rng.Intn(4)
+		p, err := Partition(g, Config{Parts: parts, Seed: seed, Cooling: 0.85})
+		if err != nil {
+			return false
+		}
+		return p.Validate(g) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,45 @@
+// Package bench is the experiment harness: it regenerates every table and
+// figure of the paper's evaluation section from the deterministic mesh
+// suite (see DESIGN.md §4 for the experiment index).
+//
+// The paper's tables report the best of 5 runs; figures average 5 runs.
+// Options controls run count, GA budget, and population layout so the same
+// experiments run as fast smoke tests (Quick), as testing.B benchmarks, or
+// at full paper scale (Paper) from cmd/experiments.
+package bench
+
+import "repro/internal/gen"
+
+// Options sizes an experiment.
+type Options struct {
+	Runs        int  // independent GA runs per cell (best is reported)
+	Generations int  // generations per run
+	TotalPop    int  // total population across islands
+	Islands     int  // subpopulations (1 = single population)
+	HillClimb   bool // boundary hill climbing on offspring
+	Seed        int64
+}
+
+// Paper returns the configuration of the paper's experiments: population
+// 320 over 16 hypercube-connected subpopulations, best of 5 runs.
+func Paper() Options {
+	return Options{
+		Runs:        5,
+		Generations: 250,
+		TotalPop:    320,
+		Islands:     16,
+		Seed:        gen.SuiteSeed,
+	}
+}
+
+// Quick returns a reduced configuration for tests and benchmarks: the same
+// code paths at a fraction of the budget.
+func Quick() Options {
+	return Options{
+		Runs:        2,
+		Generations: 40,
+		TotalPop:    64,
+		Islands:     4,
+		Seed:        gen.SuiteSeed,
+	}
+}

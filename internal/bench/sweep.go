@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/ga"
+	"repro/internal/gen"
+	"repro/internal/stats"
+)
+
+// ParamSweep is a sensitivity analysis around the paper's GA parameters
+// (pc = 0.7, pm = 0.01): it sweeps the crossover rate and the mutation rate
+// independently (holding the other at the paper's value) and reports the
+// mean final cut over opt.Runs runs on the 144-node mesh split 4 ways. This
+// justifies adopting the paper's settings as defaults.
+func ParamSweep(opt Options) Figure {
+	g := gen.PaperGraph(144)
+	const parts = 4
+	ibpSeed := ibpPartition(g, parts)
+
+	run := func(pc, pm float64, seed int64) float64 {
+		e, err := ga.New(g, ga.Config{
+			Parts:     parts,
+			PopSize:   opt.TotalPop,
+			Pc:        pc,
+			Pm:        pm,
+			Crossover: ga.NewDKNUX(ibpSeed),
+			Seed:      seed,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("bench: %v", err))
+		}
+		return e.Run(opt.Generations).Part.CutSize(g)
+	}
+	mean := func(pc, pm float64) float64 {
+		var cuts []float64
+		for r := 0; r < opt.Runs; r++ {
+			cuts = append(cuts, run(pc, pm, opt.Seed+int64(r)*61))
+		}
+		return stats.Summarize(cuts).Mean
+	}
+
+	fig := Figure{
+		ID:     "Figure P",
+		Title:  "Parameter sensitivity around the paper's pc=0.7, pm=0.01 (144 nodes, 4 parts)",
+		XLabel: "parameter value",
+		YLabel: "mean final cut",
+	}
+	pcS := Series{Label: "crossover rate pc (pm=0.01)"}
+	for _, pc := range []float64{0.3, 0.5, 0.7, 0.9} {
+		pcS.X = append(pcS.X, pc)
+		pcS.Y = append(pcS.Y, mean(pc, 0.01))
+	}
+	pmS := Series{Label: "mutation rate pm (pc=0.7)"}
+	for _, pm := range []float64{0.001, 0.005, 0.01, 0.05, 0.1} {
+		pmS.X = append(pmS.X, pm)
+		pmS.Y = append(pmS.Y, mean(0.7, pm))
+	}
+	fig.Series = []Series{pcS, pmS}
+	return fig
+}

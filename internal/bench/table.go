@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table mirrors the layout of the paper's tables: groups of rows (one group
+// per graph), one column per part count, one row per method.
+type Table struct {
+	ID     string // "Table 1" ... "Table 6"
+	Title  string
+	Metric string // what the numbers mean
+	Parts  []int  // column headers
+	Groups []Group
+}
+
+// Group is one graph's block of rows.
+type Group struct {
+	Label string // e.g. "167 Nodes" or "118 plus 21 Nodes"
+	Rows  []Row
+}
+
+// Row is one method's results across the part columns.
+type Row struct {
+	Label  string // e.g. "Cut Using DKNUX"
+	Values []float64
+}
+
+// Format renders the table as aligned text in the paper's layout.
+func (t Table) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "(metric: %s)\n", t.Metric)
+
+	labelW := len("Number of Parts")
+	for _, g := range t.Groups {
+		if len(g.Label) > labelW {
+			labelW = len(g.Label)
+		}
+		for _, r := range g.Rows {
+			if len(r.Label) > labelW {
+				labelW = len(r.Label)
+			}
+		}
+	}
+	const colW = 8
+	fmt.Fprintf(&sb, "%-*s", labelW, "Number of Parts")
+	for _, p := range t.Parts {
+		fmt.Fprintf(&sb, "%*d", colW, p)
+	}
+	sb.WriteByte('\n')
+	for _, g := range t.Groups {
+		fmt.Fprintf(&sb, "%s\n", g.Label)
+		for _, r := range g.Rows {
+			fmt.Fprintf(&sb, "%-*s", labelW, r.Label)
+			for _, v := range r.Values {
+				fmt.Fprintf(&sb, "%*.0f", colW, v)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
+// Figure is a set of labeled series (convergence curves, speedup curves).
+type Figure struct {
+	ID, Title      string
+	XLabel, YLabel string
+	Series         []Series
+}
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Format renders the figure as a column-aligned data listing, one block per
+// series — the textual equivalent of the paper's plots.
+func (f Figure) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&sb, "(x: %s, y: %s)\n", f.XLabel, f.YLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&sb, "series %q\n", s.Label)
+		for i := range s.X {
+			fmt.Fprintf(&sb, "  %10.1f %12.2f\n", s.X[i], s.Y[i])
+		}
+	}
+	return sb.String()
+}

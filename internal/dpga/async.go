@@ -1,0 +1,115 @@
+package dpga
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/ga"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// AsyncModel is the barrier-free variant of the island model: each island
+// runs in its own goroutine at its own pace, posting copies of its best
+// individual to its neighbors' buffered inboxes every MigrationInterval
+// generations and absorbing whatever migrants have arrived before each
+// generation. This matches how a message-passing implementation on the
+// paper's target machines (CM-5, Paragon) would behave: no global
+// synchronization, migrants arrive whenever the network delivers them.
+//
+// Unlike Model, AsyncModel is NOT deterministic: arrival order depends on
+// scheduling. Use Model for reproducible experiments and AsyncModel to
+// measure the island model without barrier overhead.
+type AsyncModel struct {
+	g       *graph.Graph
+	cfg     Config
+	islands []*ga.Engine
+	inboxes []chan *partition.Partition
+}
+
+// NewAsync validates cfg and builds the islands (same configuration rules
+// as New).
+func NewAsync(g *graph.Graph, cfg Config) (*AsyncModel, error) {
+	m, err := New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	am := &AsyncModel{g: g, cfg: m.cfg, islands: m.islands}
+	am.inboxes = make([]chan *partition.Partition, len(am.islands))
+	for i := range am.inboxes {
+		// Enough buffer that a slow island never blocks its neighbors.
+		am.inboxes[i] = make(chan *partition.Partition, 64)
+	}
+	return am, nil
+}
+
+// Run advances every island by generations steps concurrently and returns
+// the best individual found. It may be called repeatedly; inboxes persist
+// across calls.
+func (m *AsyncModel) Run(generations int) *ga.Individual {
+	n := len(m.islands)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e := m.islands[i]
+			nbrs := m.cfg.Topology.Neighbors(i, n)
+			for gen := 1; gen <= generations; gen++ {
+				// Absorb pending migrants without blocking.
+				for {
+					select {
+					case mig := <-m.inboxes[i]:
+						e.Inject(mig)
+						continue
+					default:
+					}
+					break
+				}
+				e.Step()
+				if gen%m.cfg.MigrationInterval == 0 {
+					best := e.Best().Part
+					for _, to := range nbrs {
+						select {
+						case m.inboxes[to] <- best.Clone():
+						default: // receiver's inbox full: drop the migrant
+						}
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	return m.Best()
+}
+
+// Best returns a clone of the best individual across all islands.
+func (m *AsyncModel) Best() *ga.Individual {
+	best := m.islands[0].Best()
+	for _, e := range m.islands[1:] {
+		if b := e.Best(); b.Fitness > best.Fitness {
+			best = b
+		}
+	}
+	return best
+}
+
+// Islands exposes the underlying engines (read-only use after Run returns).
+func (m *AsyncModel) Islands() []*ga.Engine { return m.islands }
+
+// DrainInbox counts and discards pending migrants of island i; exposed for
+// tests.
+func (m *AsyncModel) DrainInbox(i int) int {
+	if i < 0 || i >= len(m.inboxes) {
+		panic(fmt.Sprintf("dpga: no island %d", i))
+	}
+	count := 0
+	for {
+		select {
+		case <-m.inboxes[i]:
+			count++
+		default:
+			return count
+		}
+	}
+}

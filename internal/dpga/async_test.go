@@ -1,0 +1,94 @@
+package dpga
+
+import (
+	"testing"
+
+	"repro/internal/ga"
+	"repro/internal/gen"
+)
+
+func asyncConfig(seed int64) Config {
+	return Config{
+		Base:              ga.Config{Parts: 4, PopSize: 48, Crossover: ga.Uniform{}, Seed: seed},
+		Islands:           4,
+		Topology:          Ring{},
+		MigrationInterval: 2,
+	}
+}
+
+func TestAsyncRunImproves(t *testing.T) {
+	g := gen.Mesh(60, 1)
+	m, err := NewAsync(g, asyncConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.Best().Fitness
+	m.Run(20)
+	if m.Best().Fitness < first {
+		t.Error("async run regressed")
+	}
+	for _, e := range m.Islands() {
+		if e.Generation() != 20 {
+			t.Errorf("island at generation %d, want 20", e.Generation())
+		}
+	}
+}
+
+func TestAsyncRepeatedRuns(t *testing.T) {
+	g := gen.Mesh(40, 2)
+	m, err := NewAsync(g, asyncConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(5)
+	mid := m.Best().Fitness
+	m.Run(5)
+	if m.Best().Fitness < mid {
+		t.Error("second Run regressed")
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	g := gen.Mesh(30, 3)
+	bad := asyncConfig(1)
+	bad.Base.Crossover = nil
+	if _, err := NewAsync(g, bad); err == nil {
+		t.Error("config without crossover accepted")
+	}
+}
+
+func TestAsyncMigrantsFlow(t *testing.T) {
+	// After a run, inboxes may hold leftover migrants; draining must not
+	// panic and must return promptly.
+	g := gen.Mesh(40, 4)
+	m, err := NewAsync(g, asyncConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(10)
+	total := 0
+	for i := range m.Islands() {
+		total += m.DrainInbox(i)
+	}
+	// Migrants were exchanged every 2 generations among 4 islands; at least
+	// some traffic must have occurred (either consumed or left over). We
+	// can't assert consumption deterministically, so assert drain safety
+	// and bounded leftovers.
+	if total < 0 || total > 4*64 {
+		t.Errorf("drained %d migrants", total)
+	}
+}
+
+func TestAsyncDrainPanicsOnBadIsland(t *testing.T) {
+	g := gen.Mesh(30, 5)
+	m, err := NewAsync(g, asyncConfig(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	m.DrainInbox(99)
+}

@@ -1,0 +1,343 @@
+// Package dpga implements the paper's coarse-grained distributed-population
+// genetic algorithm (§3.4): the population is divided into subpopulations
+// ("islands") arranged in a communication topology (the paper uses a
+// four-dimensional hypercube of 16 subpopulations); crossover is restricted
+// to members of the same subpopulation, and each island periodically sends
+// copies of its best individuals to its topological neighbors.
+//
+// Islands advance independently between migrations, so the model runs
+// either sequentially or with one goroutine per island; results are
+// bit-identical in both modes because every island owns its RNG and
+// migration happens at a barrier.
+package dpga
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/ga"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Topology defines island adjacency. Islands are numbered 0..n-1.
+type Topology interface {
+	// Name identifies the topology in reports.
+	Name() string
+	// Validate reports whether the topology supports n islands.
+	Validate(n int) error
+	// Neighbors returns the islands that island i sends migrants to.
+	Neighbors(i, n int) []int
+}
+
+// Hypercube connects island i to every island differing in exactly one bit
+// of its index; n must be a power of two. With n=16 this is the paper's
+// 4-dimensional hypercube.
+type Hypercube struct{}
+
+// Name implements Topology.
+func (Hypercube) Name() string { return "hypercube" }
+
+// Validate implements Topology.
+func (Hypercube) Validate(n int) error {
+	if n <= 0 || n&(n-1) != 0 {
+		return fmt.Errorf("dpga: hypercube needs a power-of-two island count, got %d", n)
+	}
+	return nil
+}
+
+// Neighbors implements Topology.
+func (Hypercube) Neighbors(i, n int) []int {
+	var out []int
+	for bit := 1; bit < n; bit <<= 1 {
+		out = append(out, i^bit)
+	}
+	return out
+}
+
+// Ring connects island i to (i±1) mod n.
+type Ring struct{}
+
+// Name implements Topology.
+func (Ring) Name() string { return "ring" }
+
+// Validate implements Topology.
+func (Ring) Validate(n int) error {
+	if n < 2 {
+		return fmt.Errorf("dpga: ring needs >= 2 islands, got %d", n)
+	}
+	return nil
+}
+
+// Neighbors implements Topology.
+func (Ring) Neighbors(i, n int) []int {
+	if n == 2 {
+		return []int{1 - i}
+	}
+	return []int{(i + 1) % n, (i - 1 + n) % n}
+}
+
+// Mesh arranges islands in a Rows x Cols grid with 4-neighbor adjacency.
+type Mesh struct {
+	Rows, Cols int
+}
+
+// Name implements Topology.
+func (m Mesh) Name() string { return fmt.Sprintf("mesh-%dx%d", m.Rows, m.Cols) }
+
+// Validate implements Topology.
+func (m Mesh) Validate(n int) error {
+	if m.Rows*m.Cols != n {
+		return fmt.Errorf("dpga: mesh %dx%d cannot hold %d islands", m.Rows, m.Cols, n)
+	}
+	return nil
+}
+
+// Neighbors implements Topology.
+func (m Mesh) Neighbors(i, n int) []int {
+	r, c := i/m.Cols, i%m.Cols
+	var out []int
+	if r > 0 {
+		out = append(out, i-m.Cols)
+	}
+	if r+1 < m.Rows {
+		out = append(out, i+m.Cols)
+	}
+	if c > 0 {
+		out = append(out, i-1)
+	}
+	if c+1 < m.Cols {
+		out = append(out, i+1)
+	}
+	return out
+}
+
+// Config parameterizes a distributed run. Island population size is
+// Base.PopSize/Islands (the paper runs total population 320 over 16
+// islands of 20).
+type Config struct {
+	Base    ga.Config // shared GA parameters; PopSize is the TOTAL population
+	Islands int       // number of subpopulations; default 16 (paper)
+
+	Topology          Topology // default Hypercube{}
+	MigrationInterval int      // generations between migrations; default 5
+	Migrants          int      // best individuals sent per neighbor; default 1
+
+	// Parallel runs one goroutine per island between migration barriers.
+	// Results are identical to the sequential mode; this only changes
+	// wall-clock time on multicore hosts.
+	Parallel bool
+
+	// CrossoverFactory builds a per-island crossover operator. Required
+	// when Base.Crossover carries per-run state (KNUX/DKNUX estimates must
+	// not be shared across islands); optional otherwise. The island index
+	// is provided for diagnostics.
+	CrossoverFactory func(island int) ga.Crossover
+}
+
+// Model is a running distributed GA.
+type Model struct {
+	g       *graph.Graph
+	cfg     Config
+	islands []*ga.Engine
+	gen     int
+}
+
+// New validates cfg and builds the islands. Each island receives a distinct
+// RNG seed derived from Base.Seed and its index, so islands explore
+// independently but the whole run is reproducible.
+func New(g *graph.Graph, cfg Config) (*Model, error) {
+	if cfg.Islands == 0 {
+		cfg.Islands = 16
+	}
+	if cfg.Topology == nil {
+		cfg.Topology = Hypercube{}
+	}
+	if cfg.MigrationInterval == 0 {
+		cfg.MigrationInterval = 5
+	}
+	if cfg.Migrants == 0 {
+		cfg.Migrants = 1
+	}
+	if err := cfg.Topology.Validate(cfg.Islands); err != nil {
+		return nil, err
+	}
+	if cfg.Base.Crossover == nil && cfg.CrossoverFactory == nil {
+		return nil, fmt.Errorf("dpga: need Base.Crossover or CrossoverFactory")
+	}
+	total := cfg.Base.PopSize
+	if total == 0 {
+		total = 320
+	}
+	per := total / cfg.Islands
+	if per < 2 {
+		return nil, fmt.Errorf("dpga: %d islands leave %d individuals each (need >= 2)", cfg.Islands, per)
+	}
+	m := &Model{g: g, cfg: cfg}
+	for i := 0; i < cfg.Islands; i++ {
+		ic := cfg.Base
+		ic.PopSize = per
+		// Derive independent island seeds; avoid correlated streams.
+		ic.Seed = rand.New(rand.NewSource(cfg.Base.Seed + int64(i)*7919)).Int63()
+		if cfg.CrossoverFactory != nil {
+			ic.Crossover = cfg.CrossoverFactory(i)
+		}
+		e, err := ga.New(g, ic)
+		if err != nil {
+			return nil, fmt.Errorf("dpga: island %d: %w", i, err)
+		}
+		m.islands = append(m.islands, e)
+	}
+	return m, nil
+}
+
+// Run advances all islands by generations steps, migrating every
+// MigrationInterval generations, and returns the best individual across
+// islands.
+func (m *Model) Run(generations int) *ga.Individual {
+	for done := 0; done < generations; {
+		step := m.cfg.MigrationInterval
+		if generations-done < step {
+			step = generations - done
+		}
+		m.epoch(step)
+		done += step
+		if done < generations {
+			m.migrate()
+		}
+	}
+	return m.Best()
+}
+
+// epoch advances every island by steps generations, in parallel if
+// configured.
+func (m *Model) epoch(steps int) {
+	if !m.cfg.Parallel {
+		for _, e := range m.islands {
+			for s := 0; s < steps; s++ {
+				e.Step()
+			}
+		}
+	} else {
+		var wg sync.WaitGroup
+		for _, e := range m.islands {
+			wg.Add(1)
+			go func(e *ga.Engine) {
+				defer wg.Done()
+				for s := 0; s < steps; s++ {
+					e.Step()
+				}
+			}(e)
+		}
+		wg.Wait()
+	}
+	m.gen += steps
+}
+
+// migrate sends copies of each island's best Migrants individuals to every
+// topological neighbor. Migration is applied island by island after all
+// sends are collected, so the order of islands does not privilege anyone
+// within an exchange round.
+func (m *Model) migrate() {
+	n := len(m.islands)
+	type migrant struct {
+		to   int
+		part *partition.Partition
+	}
+	var batch []migrant
+	for i, e := range m.islands {
+		bests := topK(e.Population(), m.cfg.Migrants)
+		for _, to := range m.cfg.Topology.Neighbors(i, n) {
+			for _, b := range bests {
+				batch = append(batch, migrant{to, b.Part.Clone()})
+			}
+		}
+	}
+	for _, mg := range batch {
+		m.islands[mg.to].Inject(mg.part)
+	}
+}
+
+// topK returns the k fittest individuals of pop (k <= len(pop) enforced by
+// clamping).
+func topK(pop []*ga.Individual, k int) []*ga.Individual {
+	if k > len(pop) {
+		k = len(pop)
+	}
+	idx := make([]int, 0, k)
+	for cand := range pop {
+		if len(idx) < k {
+			idx = append(idx, cand)
+			for t := len(idx) - 1; t > 0 && pop[idx[t]].Fitness > pop[idx[t-1]].Fitness; t-- {
+				idx[t], idx[t-1] = idx[t-1], idx[t]
+			}
+			continue
+		}
+		if pop[cand].Fitness > pop[idx[k-1]].Fitness {
+			idx[k-1] = cand
+			for t := k - 1; t > 0 && pop[idx[t]].Fitness > pop[idx[t-1]].Fitness; t-- {
+				idx[t], idx[t-1] = idx[t-1], idx[t]
+			}
+		}
+	}
+	out := make([]*ga.Individual, k)
+	for i, j := range idx {
+		out[i] = pop[j]
+	}
+	return out
+}
+
+// Best returns a clone of the best individual across all islands.
+func (m *Model) Best() *ga.Individual {
+	best := m.islands[0].Best()
+	for _, e := range m.islands[1:] {
+		if b := e.Best(); b.Fitness > best.Fitness {
+			best = b
+		}
+	}
+	return best
+}
+
+// Generation returns the number of generations completed.
+func (m *Model) Generation() int { return m.gen }
+
+// Islands exposes the underlying engines (read-only use).
+func (m *Model) Islands() []*ga.Engine { return m.islands }
+
+// BestFitnessSeries returns, for each generation index, the maximum
+// best-fitness across islands. Each island's series is monotone
+// non-decreasing, so the aggregate is too.
+func (m *Model) BestFitnessSeries() []float64 {
+	var out []float64
+	for _, e := range m.islands {
+		s := e.Stats().BestFitness
+		for gi, v := range s {
+			if gi >= len(out) {
+				out = append(out, v)
+			} else if v > out[gi] {
+				out[gi] = v
+			}
+		}
+	}
+	return out
+}
+
+// BestCutSeries returns, for each generation index, the minimum best-cut
+// across islands — the convergence trajectory used in the figures. Unlike
+// fitness, cut size is not guaranteed monotone: the fittest individual can
+// trade a slightly larger cut for much better balance.
+func (m *Model) BestCutSeries() []float64 {
+	var out []float64
+	for _, e := range m.islands {
+		s := e.Stats().BestCut
+		for gi, v := range s {
+			if gi >= len(out) {
+				out = append(out, v)
+			} else if v < out[gi] {
+				out[gi] = v
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,188 @@
+// Package fm implements Fiduccia–Mattheyses-style k-way refinement with
+// bucket-sorted gains: the linear-time counterpart of package kl's simple
+// hill climber. One FM pass moves each node at most once, always the
+// highest-gain legal move (respecting a balance constraint), and keeps the
+// best prefix of the move sequence — so it can climb out of local optima
+// that pure steepest-descent cannot.
+//
+// The paper's GA uses boundary hill climbing (kl.HillClimb); FM is the
+// stronger refinement used by the multilevel pipeline (the paper's "prior
+// graph contraction" outlook) and by the ablation benchmarks.
+package fm
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Config bounds a refinement run.
+type Config struct {
+	// MaxPasses caps the number of full FM passes; 0 means until no pass
+	// improves (at most 16, a safety bound).
+	MaxPasses int
+	// BalanceSlack is the allowed deviation of any part's node count from
+	// the ideal n/parts, in nodes. 0 selects ceil(2% of ideal)+1.
+	BalanceSlack int
+}
+
+// Refine improves p in place, minimizing the edge cut subject to the
+// balance constraint, and returns the total cut reduction.
+func Refine(g *graph.Graph, p *partition.Partition, cfg Config) float64 {
+	maxPasses := cfg.MaxPasses
+	if maxPasses <= 0 {
+		maxPasses = 16
+	}
+	n := g.NumNodes()
+	if n == 0 || p.Parts < 2 {
+		return 0
+	}
+	ideal := float64(n) / float64(p.Parts)
+	slack := cfg.BalanceSlack
+	if slack <= 0 {
+		slack = int(math.Ceil(ideal/50)) + 1
+	}
+	minSize := int(math.Floor(ideal)) - slack
+	if minSize < 0 {
+		minSize = 0
+	}
+	maxSize := int(math.Ceil(ideal)) + slack
+
+	var total float64
+	for pass := 0; pass < maxPasses; pass++ {
+		gain := onePass(g, p, minSize, maxSize)
+		total += gain
+		if gain <= 0 {
+			break
+		}
+	}
+	return total
+}
+
+// move is one entry of the FM move log.
+type move struct {
+	v        int
+	from, to int
+	gain     float64
+}
+
+// cand is a prioritized candidate move.
+type cand struct {
+	v    int
+	to   int
+	gain float64
+	// stamp guards against stale heap entries: a candidate is valid only if
+	// it carries the node's current stamp.
+	stamp int
+}
+
+type candHeap []cand
+
+func (h candHeap) Len() int            { return len(h) }
+func (h candHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
+func (h *candHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// onePass runs one FM pass and returns the cut improvement kept.
+func onePass(g *graph.Graph, p *partition.Partition, minSize, maxSize int) float64 {
+	n := g.NumNodes()
+	parts := p.Parts
+
+	// conn[v*parts+q] = total weight of v's edges into part q.
+	conn := make([]float64, n*parts)
+	for v := 0; v < n; v++ {
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			conn[v*parts+int(p.Assign[u])] += ws[i]
+		}
+	}
+	sizes := p.PartSizes()
+	locked := make([]bool, n)
+	stamp := make([]int, n)
+
+	h := &candHeap{}
+	pushBest := func(v int) {
+		from := int(p.Assign[v])
+		base := conn[v*parts+from]
+		bestTo, bestGain := -1, math.Inf(-1)
+		for q := 0; q < parts; q++ {
+			if q == from || conn[v*parts+q] == 0 {
+				continue // only move toward parts v touches (boundary moves)
+			}
+			if gainQ := conn[v*parts+q] - base; gainQ > bestGain {
+				bestTo, bestGain = q, gainQ
+			}
+		}
+		if bestTo >= 0 {
+			heap.Push(h, cand{v: v, to: bestTo, gain: bestGain, stamp: stamp[v]})
+		}
+	}
+	for v := 0; v < n; v++ {
+		pushBest(v)
+	}
+
+	work := p.Clone()
+	var log []move
+	var cum, bestCum float64
+	bestK := 0
+	for h.Len() > 0 {
+		c := heap.Pop(h).(cand)
+		v := c.v
+		if locked[v] || c.stamp != stamp[v] {
+			continue // stale entry
+		}
+		from := int(work.Assign[v])
+		if c.to == from {
+			continue
+		}
+		// Balance legality.
+		if sizes[from]-1 < minSize || sizes[c.to]+1 > maxSize {
+			// Illegal now; it may become legal after other moves, so
+			// re-stamp and re-push once.
+			stamp[v]++
+			pushBest(v)
+			// Avoid infinite loops: lock if it bounced too many times.
+			if stamp[v] > 2*parts {
+				locked[v] = true
+			}
+			continue
+		}
+		// Apply the move.
+		locked[v] = true
+		work.Assign[v] = uint16(c.to)
+		sizes[from]--
+		sizes[c.to]++
+		cum += c.gain
+		log = append(log, move{v: v, from: from, to: c.to, gain: c.gain})
+		if cum > bestCum {
+			bestCum, bestK = cum, len(log)
+		}
+		// Update neighbors' connectivity and re-queue them.
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if locked[u] {
+				continue
+			}
+			conn[int(u)*parts+from] -= ws[i]
+			conn[int(u)*parts+c.to] += ws[i]
+			stamp[u]++
+			pushBest(int(u))
+		}
+	}
+	if bestK == 0 {
+		return 0
+	}
+	// Keep the best prefix.
+	for _, m := range log[:bestK] {
+		p.Assign[m.v] = uint16(m.to)
+	}
+	return bestCum
+}

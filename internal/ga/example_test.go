@@ -1,0 +1,36 @@
+package ga_test
+
+import (
+	"fmt"
+
+	"repro/internal/ga"
+	"repro/internal/gen"
+	"repro/internal/ibp"
+	"repro/internal/partition"
+)
+
+// Example partitions a benchmark mesh into 4 parts with DKNUX seeded by an
+// IBP solution — the paper's Table 1 methodology in miniature.
+func Example() {
+	g := gen.PaperGraph(78)
+	seed, err := ibp.Partition(g, 4, ibp.ShuffledRowMajor)
+	if err != nil {
+		panic(err)
+	}
+	e, err := ga.New(g, ga.Config{
+		Parts:     4,
+		PopSize:   64,
+		Crossover: ga.NewDKNUX(seed),
+		Seeds:     []*partition.Partition{seed},
+		Seed:      1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	best := e.Run(50)
+	fmt.Println("balanced:", best.Part.Balanced())
+	fmt.Println("improved:", best.Part.CutSize(g) <= seed.CutSize(g))
+	// Output:
+	// balanced: true
+	// improved: true
+}

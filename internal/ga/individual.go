@@ -1,0 +1,30 @@
+// Package ga implements the paper's genetic algorithm for graph
+// partitioning: the assignment-vector representation, the traditional
+// crossover operators (one-point, two-point, k-point, uniform), the paper's
+// knowledge-based operators KNUX and DKNUX, mutation, selection, optional
+// boundary hill climbing, and a single-population engine that the
+// distributed-population model (package dpga) composes.
+package ga
+
+import (
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Individual is one member of the population: a candidate partition plus its
+// cached fitness. Fitness is always kept in sync with Part by the engine;
+// operators that modify Part must re-evaluate.
+type Individual struct {
+	Part    *partition.Partition
+	Fitness float64
+}
+
+// NewIndividual evaluates p against g under objective o and wraps it.
+func NewIndividual(g *graph.Graph, p *partition.Partition, o partition.Objective) *Individual {
+	return &Individual{Part: p, Fitness: p.Fitness(g, o)}
+}
+
+// Clone deep-copies the individual.
+func (ind *Individual) Clone() *Individual {
+	return &Individual{Part: ind.Part.Clone(), Fitness: ind.Fitness}
+}

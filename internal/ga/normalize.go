@@ -1,0 +1,151 @@
+package ga
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Part labels are arbitrary: the partitions 0011 and 1100 describe the same
+// bisection. Positional crossover operators cannot see that, so two parents
+// encoding near-identical partitions under permuted labels produce garbage
+// offspring. Von Laszewski's "intelligent structural operators" (cited by
+// the paper) attack exactly this; Normalizing wraps any crossover with a
+// label-canonicalization step: before recombining, parent b's labels are
+// permuted to maximize positional agreement with parent a.
+
+// RelabelToMatch returns a copy of b with its part labels permuted to
+// maximize |{i : a[i] == b'[i]}|. For up to 16 parts the assignment is
+// solved exactly with a bitmask DP over the overlap-count matrix; beyond
+// that a greedy matching is used, guarded so the result never agrees less
+// than unrelabeled b.
+func RelabelToMatch(a, b *partition.Partition) *partition.Partition {
+	parts := a.Parts
+	overlap := make([]int, parts*parts) // overlap[qa*parts+qb]
+	for i := range a.Assign {
+		overlap[int(a.Assign[i])*parts+int(b.Assign[i])]++
+	}
+	var mapB []int // mapB[qb] = new label for b's part qb
+	if parts <= 16 {
+		mapB = optimalAssignment(overlap, parts)
+	} else {
+		mapB = greedyAssignment(overlap, parts)
+		// Guard: fall back to identity if greedy lost to it.
+		greedyScore, idScore := 0, 0
+		for qb, qa := range mapB {
+			greedyScore += overlap[qa*parts+qb]
+			idScore += overlap[qb*parts+qb]
+		}
+		if idScore >= greedyScore {
+			for i := range mapB {
+				mapB[i] = i
+			}
+		}
+	}
+	out := b.Clone()
+	for i, q := range b.Assign {
+		out.Assign[i] = uint16(mapB[q])
+	}
+	return out
+}
+
+// optimalAssignment maximizes Σ overlap[perm(qb)*parts+qb] exactly with a
+// subset DP: dp[mask] is the best score assigning b-labels 0..k-1 (where
+// k = popcount(mask)) to the a-labels in mask.
+func optimalAssignment(overlap []int, parts int) []int {
+	size := 1 << uint(parts)
+	dp := make([]int, size)
+	choice := make([]int8, size) // a-label chosen for the last b-label
+	for i := range dp {
+		dp[i] = -1
+	}
+	dp[0] = 0
+	for mask := 1; mask < size; mask++ {
+		qb := popcount(mask) - 1 // next b-label to place
+		for qa := 0; qa < parts; qa++ {
+			bit := 1 << uint(qa)
+			if mask&bit == 0 || dp[mask^bit] < 0 {
+				continue
+			}
+			if s := dp[mask^bit] + overlap[qa*parts+qb]; s > dp[mask] {
+				dp[mask] = s
+				choice[mask] = int8(qa)
+			}
+		}
+	}
+	mapB := make([]int, parts)
+	mask := size - 1
+	for qb := parts - 1; qb >= 0; qb-- {
+		qa := int(choice[mask])
+		mapB[qb] = qa
+		mask ^= 1 << uint(qa)
+	}
+	return mapB
+}
+
+// greedyAssignment matches largest overlaps first.
+func greedyAssignment(overlap []int, parts int) []int {
+	usedA := make([]bool, parts)
+	usedB := make([]bool, parts)
+	mapB := make([]int, parts)
+	for assigned := 0; assigned < parts; assigned++ {
+		bestA, bestB, bestOv := -1, -1, -1
+		for qa := 0; qa < parts; qa++ {
+			if usedA[qa] {
+				continue
+			}
+			for qb := 0; qb < parts; qb++ {
+				if usedB[qb] {
+					continue
+				}
+				if overlap[qa*parts+qb] > bestOv {
+					bestA, bestB, bestOv = qa, qb, overlap[qa*parts+qb]
+				}
+			}
+		}
+		usedA[bestA], usedB[bestB] = true, true
+		mapB[bestB] = bestA
+	}
+	return mapB
+}
+
+func popcount(x int) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}
+
+// Normalizing wraps a crossover operator with label canonicalization of the
+// second parent. The offspring still satisfies the closure property with
+// respect to parent a and the relabeled parent b.
+type Normalizing struct {
+	Inner Crossover
+}
+
+// Name implements Crossover.
+func (n Normalizing) Name() string { return n.Inner.Name() + "+normalize" }
+
+// Cross implements Crossover.
+func (n Normalizing) Cross(g *graph.Graph, a, b *Individual, rng *rand.Rand) *partition.Partition {
+	nb := &Individual{Part: RelabelToMatch(a.Part, b.Part), Fitness: b.Fitness}
+	return n.Inner.Cross(g, a, nb, rng)
+}
+
+// SetEstimate forwards to the inner operator when it tracks a dynamic
+// estimate (DKNUX), so Normalizing{DKNUX} behaves like DKNUX.
+func (n Normalizing) SetEstimate(best *partition.Partition) {
+	if up, ok := n.Inner.(EstimateUpdater); ok {
+		up.SetEstimate(best)
+	}
+}
+
+// Estimate forwards to the inner operator's estimate when present.
+func (n Normalizing) Estimate() *partition.Partition {
+	if pr, ok := n.Inner.(EstimateProvider); ok {
+		return pr.Estimate()
+	}
+	return nil
+}

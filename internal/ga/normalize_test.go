@@ -1,0 +1,195 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func TestRelabelToMatchIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := partition.RandomBalanced(30, 4, rng)
+	out := RelabelToMatch(a, a)
+	for i := range a.Assign {
+		if out.Assign[i] != a.Assign[i] {
+			t.Fatal("relabeling a partition against itself changed it")
+		}
+	}
+}
+
+func TestRelabelToMatchPermutation(t *testing.T) {
+	// b is a pure label permutation of a: relabeling must recover a exactly.
+	rng := rand.New(rand.NewSource(2))
+	a := partition.RandomBalanced(40, 4, rng)
+	perm := []uint16{2, 3, 0, 1}
+	b := a.Clone()
+	for i := range b.Assign {
+		b.Assign[i] = perm[b.Assign[i]]
+	}
+	out := RelabelToMatch(a, b)
+	for i := range a.Assign {
+		if out.Assign[i] != a.Assign[i] {
+			t.Fatalf("permuted twin not recovered at %d: %d vs %d", i, out.Assign[i], a.Assign[i])
+		}
+	}
+}
+
+func TestRelabelNeverDecreasesAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		parts := 2 + rng.Intn(6)
+		n := 20 + rng.Intn(40)
+		a := partition.Random(n, parts, rng)
+		b := partition.Random(n, parts, rng)
+		before := agreement(a, b)
+		out := RelabelToMatch(a, b)
+		after := agreement(a, out)
+		if after < before {
+			t.Fatalf("trial %d: agreement fell %d -> %d", trial, before, after)
+		}
+	}
+}
+
+func agreement(a, b *partition.Partition) int {
+	c := 0
+	for i := range a.Assign {
+		if a.Assign[i] == b.Assign[i] {
+			c++
+		}
+	}
+	return c
+}
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	// Relabeling must not change the partition's cut (it is the same
+	// partition under new names).
+	g := gen.Mesh(50, 4)
+	rng := rand.New(rand.NewSource(5))
+	a := partition.RandomBalanced(50, 4, rng)
+	b := partition.RandomBalanced(50, 4, rng)
+	out := RelabelToMatch(a, b)
+	if out.CutSize(g) != b.CutSize(g) {
+		t.Errorf("relabeling changed the cut: %v -> %v", b.CutSize(g), out.CutSize(g))
+	}
+}
+
+func TestNormalizingClosureAndName(t *testing.T) {
+	g := gen.Mesh(40, 6)
+	rng := rand.New(rand.NewSource(7))
+	a, b := mkParents(g, 4, rng)
+	op := Normalizing{Inner: Uniform{}}
+	if op.Name() != "uniform+normalize" {
+		t.Errorf("Name = %q", op.Name())
+	}
+	child := op.Cross(g, a, b, rng)
+	// Closure holds w.r.t. parent a and the relabeled parent b.
+	nb := RelabelToMatch(a.Part, b.Part)
+	for i, v := range child.Assign {
+		if v != a.Part.Assign[i] && v != nb.Assign[i] {
+			t.Fatalf("gene %d = %d from neither parent", i, v)
+		}
+	}
+}
+
+func TestNormalizingForwardsEstimate(t *testing.T) {
+	est := partition.New(10, 2)
+	d := NewDKNUX(est)
+	op := Normalizing{Inner: d}
+	better := partition.New(10, 2)
+	better.Assign[0] = 1
+	op.SetEstimate(better)
+	if d.Estimate().Assign[0] != 1 {
+		t.Error("SetEstimate not forwarded to inner DKNUX")
+	}
+	if op.Estimate() == nil {
+		t.Error("Estimate not forwarded")
+	}
+	// Non-providing inner: Estimate returns nil, SetEstimate is a no-op.
+	op2 := Normalizing{Inner: Uniform{}}
+	op2.SetEstimate(better)
+	if op2.Estimate() != nil {
+		t.Error("Uniform inner should have no estimate")
+	}
+}
+
+func TestNormalizingHelpsPermutedTwins(t *testing.T) {
+	// Two parents encoding the SAME good partition under different labels:
+	// plain uniform crossover produces a scrambled child; normalized
+	// uniform reproduces the partition exactly.
+	g := gen.Mesh(60, 8)
+	rng := rand.New(rand.NewSource(9))
+	good := partition.RandomBalanced(60, 4, rng)
+	permuted := good.Clone()
+	perm := []uint16{3, 2, 1, 0}
+	for i := range permuted.Assign {
+		permuted.Assign[i] = perm[permuted.Assign[i]]
+	}
+	ia := NewIndividual(g, good, partition.TotalCut)
+	ib := NewIndividual(g, permuted, partition.TotalCut)
+
+	norm := Normalizing{Inner: Uniform{}}.Cross(g, ia, ib, rng)
+	for i := range norm.Assign {
+		if norm.Assign[i] != good.Assign[i] {
+			t.Fatal("normalized crossover of permuted twins did not reproduce the partition")
+		}
+	}
+	plain := (Uniform{}).Cross(g, ia, ib, rng)
+	if plain.Fitness(g, partition.TotalCut) >= norm.Fitness(g, partition.TotalCut) {
+		t.Error("plain UX on permuted twins should be worse than normalized UX")
+	}
+}
+
+func TestNormalizingInEngine(t *testing.T) {
+	g := gen.PaperGraph(98)
+	rng := rand.New(rand.NewSource(11))
+	est := partition.RandomBalanced(g.NumNodes(), 4, rng)
+	e, err := New(g, Config{
+		Parts:     4,
+		PopSize:   40,
+		Crossover: Normalizing{Inner: NewDKNUX(est)},
+		Seed:      13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := e.Best().Fitness
+	e.Run(20)
+	if e.Best().Fitness <= first {
+		t.Error("normalized DKNUX failed to improve")
+	}
+}
+
+// Property: relabeling is always a bijection on labels (part sizes are a
+// permutation of the originals).
+func TestQuickRelabelBijective(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		parts := 2 + rng.Intn(6)
+		n := 10 + rng.Intn(50)
+		a := partition.Random(n, parts, rng)
+		b := partition.Random(n, parts, rng)
+		out := RelabelToMatch(a, b)
+		sb := b.PartSizes()
+		so := out.PartSizes()
+		// Multisets must match.
+		counts := map[int]int{}
+		for _, s := range sb {
+			counts[s]++
+		}
+		for _, s := range so {
+			counts[s]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

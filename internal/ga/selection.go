@@ -1,0 +1,107 @@
+package ga
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Selection picks a parent index from the population. The paper does not
+// specify its selection scheme; binary tournament is the default (see
+// DESIGN.md §5), with roulette and rank available for the ablation bench.
+type Selection interface {
+	// Name identifies the scheme in reports.
+	Name() string
+	// Pick returns the index of the selected individual. pop is sorted by
+	// nothing in particular; implementations must consult Fitness.
+	Pick(pop []*Individual, rng *rand.Rand) int
+}
+
+// Tournament selection draws Size individuals uniformly and returns the
+// fittest. Size 2 (binary tournament) is the default used throughout.
+type Tournament struct {
+	Size int
+}
+
+// Name implements Selection.
+func (t Tournament) Name() string { return fmt.Sprintf("tournament-%d", t.Size) }
+
+// Pick implements Selection.
+func (t Tournament) Pick(pop []*Individual, rng *rand.Rand) int {
+	if t.Size <= 0 {
+		panic("ga: tournament size must be positive")
+	}
+	best := rng.Intn(len(pop))
+	for i := 1; i < t.Size; i++ {
+		c := rng.Intn(len(pop))
+		if pop[c].Fitness > pop[best].Fitness {
+			best = c
+		}
+	}
+	return best
+}
+
+// Roulette is fitness-proportionate selection. Fitness values here are
+// always <= 0 (negated costs), so selection weights are computed as
+// (f - worst) + eps, which preserves proportionality of "goodness" while
+// staying positive.
+type Roulette struct{}
+
+// Name implements Selection.
+func (Roulette) Name() string { return "roulette" }
+
+// Pick implements Selection.
+func (Roulette) Pick(pop []*Individual, rng *rand.Rand) int {
+	worst := pop[0].Fitness
+	for _, ind := range pop[1:] {
+		if ind.Fitness < worst {
+			worst = ind.Fitness
+		}
+	}
+	var total float64
+	for _, ind := range pop {
+		total += ind.Fitness - worst
+	}
+	if total <= 0 {
+		return rng.Intn(len(pop)) // all equal: uniform
+	}
+	r := rng.Float64() * total
+	var acc float64
+	for i, ind := range pop {
+		acc += ind.Fitness - worst
+		if r < acc {
+			return i
+		}
+	}
+	return len(pop) - 1
+}
+
+// Rank is linear-rank selection: individuals are sorted by fitness and
+// selected with probability proportional to rank+1 (worst has rank 0). Rank
+// selection is insensitive to the fitness scale, which matters when the
+// imbalance term dwarfs the cut term early in a run.
+type Rank struct{}
+
+// Name implements Selection.
+func (Rank) Name() string { return "rank" }
+
+// Pick implements Selection.
+func (Rank) Pick(pop []*Individual, rng *rand.Rand) int {
+	n := len(pop)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return pop[idx[a]].Fitness < pop[idx[b]].Fitness })
+	// Total weight n(n+1)/2; draw a rank.
+	total := n * (n + 1) / 2
+	r := rng.Intn(total)
+	acc := 0
+	for rank := 0; rank < n; rank++ {
+		acc += rank + 1
+		if r < acc {
+			return idx[rank]
+		}
+	}
+	return idx[n-1]
+}

@@ -1,0 +1,60 @@
+package ga
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestStatsSeriesLengthsAndBounds(t *testing.T) {
+	g := gen.Mesh(50, 51)
+	e, err := New(g, smallConfig(4, Uniform{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(12)
+	s := e.Stats()
+	want := 13 // generation 0 plus 12 steps
+	if len(s.MeanFitness) != want || len(s.Diversity) != want {
+		t.Fatalf("series lengths: mean=%d diversity=%d, want %d",
+			len(s.MeanFitness), len(s.Diversity), want)
+	}
+	for i := range s.MeanFitness {
+		if s.MeanFitness[i] > s.BestFitness[i] {
+			t.Errorf("gen %d: mean fitness %v exceeds best %v", i, s.MeanFitness[i], s.BestFitness[i])
+		}
+		if s.Diversity[i] < 0 || s.Diversity[i] > 1 {
+			t.Errorf("gen %d: diversity %v out of [0,1]", i, s.Diversity[i])
+		}
+	}
+}
+
+func TestDiversityShrinksUnderSelection(t *testing.T) {
+	// Selection pressure homogenizes the population: diversity in the final
+	// generation should be lower than in the initial random population.
+	g := gen.PaperGraph(78)
+	e, err := New(g, Config{Parts: 4, PopSize: 40, Crossover: Uniform{}, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(40)
+	s := e.Stats()
+	first, last := s.Diversity[0], s.Diversity[len(s.Diversity)-1]
+	if last >= first {
+		t.Errorf("diversity did not shrink: %v -> %v", first, last)
+	}
+}
+
+func TestStatsCopyIsIndependent(t *testing.T) {
+	g := gen.Mesh(30, 53)
+	e, err := New(g, smallConfig(2, Uniform{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2)
+	s := e.Stats()
+	s.Diversity[0] = 99
+	if e.Stats().Diversity[0] == 99 {
+		t.Error("Stats returns aliased slices")
+	}
+}

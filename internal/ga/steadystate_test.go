@@ -1,0 +1,98 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func TestSteadyStateImproves(t *testing.T) {
+	g := gen.Mesh(60, 41)
+	cfg := smallConfig(4, Uniform{})
+	cfg.SteadyState = true
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := e.Best().Fitness
+	e.Run(20)
+	if e.Best().Fitness <= first {
+		t.Error("steady-state GA failed to improve")
+	}
+	if e.Generation() != 20 {
+		t.Errorf("generation = %d", e.Generation())
+	}
+	s := e.Stats()
+	for i := 1; i < len(s.BestFitness); i++ {
+		if s.BestFitness[i] < s.BestFitness[i-1] {
+			t.Fatal("best fitness regressed in steady-state mode")
+		}
+	}
+}
+
+func TestSteadyStateNeverDegradesPopulation(t *testing.T) {
+	// In steady-state mode, the population's worst fitness is monotone
+	// non-decreasing: offspring only enter by beating the worst.
+	g := gen.Mesh(50, 43)
+	cfg := smallConfig(4, KPoint{K: 2})
+	cfg.SteadyState = true
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstOf := func() float64 {
+		w := e.Population()[0].Fitness
+		for _, ind := range e.Population() {
+			if ind.Fitness < w {
+				w = ind.Fitness
+			}
+		}
+		return w
+	}
+	prev := worstOf()
+	for i := 0; i < 10; i++ {
+		e.Step()
+		cur := worstOf()
+		if cur < prev {
+			t.Fatalf("population worst degraded at step %d: %v -> %v", i, prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestSteadyStateDeterministic(t *testing.T) {
+	g := gen.Mesh(40, 45)
+	run := func() []uint16 {
+		cfg := smallConfig(2, Uniform{})
+		cfg.SteadyState = true
+		e, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(10).Part.Assign
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("steady-state runs diverged for equal seeds")
+		}
+	}
+}
+
+func TestSteadyStateWithDKNUX(t *testing.T) {
+	g := gen.PaperGraph(98)
+	rng := rand.New(rand.NewSource(47))
+	est := partition.RandomBalanced(g.NumNodes(), 4, rng)
+	cfg := Config{Parts: 4, PopSize: 40, Crossover: NewDKNUX(est), SteadyState: true, Seed: 5}
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(25)
+	randomCut := partition.RandomBalanced(g.NumNodes(), 4, rng).CutSize(g)
+	if cut := e.Best().Part.CutSize(g); cut >= randomCut {
+		t.Errorf("steady-state DKNUX cut %v not better than random %v", cut, randomCut)
+	}
+}

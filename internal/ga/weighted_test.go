@@ -1,0 +1,98 @@
+package ga
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// The paper assumes unit weights in its experiments but notes "weighted
+// edges and nodes can also be handled easily"; these tests pin that claim.
+
+// weightedMesh returns a mesh whose edge weights grow with x-coordinate and
+// whose node weights vary, so optima differ from the unit-weight case.
+func weightedMesh(n int, seed int64) *graph.Graph {
+	g := gen.Mesh(n, seed)
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		c := g.Coord(v)
+		b.SetCoord(v, c)
+		b.SetNodeWeight(v, 1+c.Y) // heavier nodes toward the top
+	}
+	g.Edges(func(u, v int, w float64) bool {
+		mid := (g.Coord(u).X + g.Coord(v).X) / 2
+		b.AddEdge(u, v, 1+4*mid) // right-side edges cost up to 5x more
+		return true
+	})
+	return b.Build()
+}
+
+func TestGAOnWeightedGraph(t *testing.T) {
+	g := weightedMesh(60, 31)
+	rng := rand.New(rand.NewSource(1))
+	est := partition.RandomBalanced(60, 4, rng)
+	e, err := New(g, Config{Parts: 4, PopSize: 40, Crossover: NewDKNUX(est), Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := e.Best().Fitness
+	e.Run(30)
+	if e.Best().Fitness <= first {
+		t.Error("GA failed to improve on weighted graph")
+	}
+	// The best solution should avoid cutting expensive (right side) edges:
+	// its weighted cut must be well below a random balanced partition's.
+	randomCut := partition.RandomBalanced(60, 4, rng).CutSize(g)
+	if got := e.Best().Part.CutSize(g); got >= randomCut {
+		t.Errorf("weighted cut %v not better than random %v", got, randomCut)
+	}
+}
+
+func TestWeightedImbalanceUsesNodeWeights(t *testing.T) {
+	// Two nodes, weights 1 and 3, two parts: the balanced-by-count split
+	// has weighted imbalance ((1-2)^2 + (3-2)^2) = 2, not 0.
+	b := graph.NewBuilder(2)
+	b.SetNodeWeight(0, 1)
+	b.SetNodeWeight(1, 3)
+	b.AddEdge(0, 1, 1)
+	g := b.Build()
+	p := partition.New(2, 2)
+	p.Assign[1] = 1
+	if got := p.ImbalanceSq(g); got != 2 {
+		t.Errorf("weighted ImbalanceSq = %v, want 2", got)
+	}
+}
+
+func TestHillClimbRespectsEdgeWeights(t *testing.T) {
+	// Triangle a-b-c plus pendant d-a. Edge weights force d's side.
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 10)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(0, 3, 1)
+	g := b.Build()
+	// Partition {0,3} vs {1,2} cuts 10+1+1 = 12; moving 1 to part 0 and 3 to
+	// part 1 gives {0,1} vs {2,3}, cutting 1+1+1 = 3. The GA's weighted
+	// fitness must prefer the latter; verify the full engine finds a cut
+	// below 12 from the bad start.
+	seed := partition.New(4, 2)
+	seed.Assign = []uint16{0, 1, 1, 0}
+	e, err := New(g, Config{
+		Parts:     2,
+		PopSize:   10,
+		Crossover: Uniform{},
+		Seeds:     []*partition.Partition{seed},
+		HillClimb: true,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(10)
+	if cut := e.Best().Part.CutSize(g); cut >= 12 {
+		t.Errorf("engine stuck at weighted cut %v", cut)
+	}
+}

@@ -1,0 +1,162 @@
+package geometry
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triangle holds the three vertex indices of a triangulation face, in
+// counter-clockwise order.
+type Triangle struct {
+	A, B, C int
+}
+
+// Triangulation is the result of Delaunay: the input points and the faces
+// covering their convex hull.
+type Triangulation struct {
+	Points    []Point
+	Triangles []Triangle
+}
+
+// Delaunay computes the Delaunay triangulation of pts with the Bowyer–Watson
+// incremental algorithm. It requires at least 3 points not all collinear and
+// no exact duplicates; the mesh generators guarantee both. Runtime is
+// O(n²) in the worst case and ~O(n^1.5) for random input, ample for the
+// paper's graph sizes and the multilevel ablations.
+func Delaunay(pts []Point) (*Triangulation, error) {
+	n := len(pts)
+	if n < 3 {
+		return nil, fmt.Errorf("geometry: Delaunay needs >= 3 points, got %d", n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if pts[i] == pts[j] {
+				return nil, fmt.Errorf("geometry: duplicate point %v at %d and %d", pts[i], i, j)
+			}
+		}
+	}
+
+	// Super-triangle large enough to contain every point strictly.
+	bb := Bounds(pts)
+	span := bb.Width()
+	if bb.Height() > span {
+		span = bb.Height()
+	}
+	if span == 0 {
+		return nil, fmt.Errorf("geometry: all points coincide")
+	}
+	c := bb.Center()
+	const m = 64 // super-triangle scale; large enough to act as "infinity"
+	super := [3]Point{
+		{c.X - m*span, c.Y - span},
+		{c.X + m*span, c.Y - span},
+		{c.X, c.Y + m*span},
+	}
+	// Work points: input points followed by the three super vertices
+	// (indices n, n+1, n+2).
+	work := make([]Point, n+3)
+	copy(work, pts)
+	copy(work[n:], super[:])
+
+	tris := []Triangle{{n, n + 1, n + 2}}
+
+	type edge struct{ u, v int }
+	for p := 0; p < n; p++ {
+		// Find all triangles whose circumcircle contains point p ("bad"
+		// triangles), collect the boundary of the cavity they form, and
+		// retriangulate the cavity as a fan around p.
+		var bad []int
+		for i, t := range tris {
+			if InCircle(work[t.A], work[t.B], work[t.C], work[p]) {
+				bad = append(bad, i)
+			}
+		}
+		edgeCount := make(map[edge]int)
+		norm := func(u, v int) edge {
+			if u > v {
+				u, v = v, u
+			}
+			return edge{u, v}
+		}
+		for _, i := range bad {
+			t := tris[i]
+			edgeCount[norm(t.A, t.B)]++
+			edgeCount[norm(t.B, t.C)]++
+			edgeCount[norm(t.C, t.A)]++
+		}
+		// Remove bad triangles (iterate indexes descending to keep them valid).
+		sort.Sort(sort.Reverse(sort.IntSlice(bad)))
+		for _, i := range bad {
+			tris[i] = tris[len(tris)-1]
+			tris = tris[:len(tris)-1]
+		}
+		// Boundary edges appear in exactly one bad triangle.
+		for e, cnt := range edgeCount {
+			if cnt != 1 {
+				continue
+			}
+			t := Triangle{e.u, e.v, p}
+			if Orient(work[t.A], work[t.B], work[t.C]) < 0 {
+				t.A, t.B = t.B, t.A
+			}
+			tris = append(tris, t)
+		}
+	}
+
+	// Drop triangles touching the super vertices.
+	out := tris[:0]
+	for _, t := range tris {
+		if t.A < n && t.B < n && t.C < n {
+			out = append(out, t)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("geometry: triangulation degenerate (collinear input?)")
+	}
+	// Canonical order for determinism across runs.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := canonical(out[i]), canonical(out[j])
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	return &Triangulation{Points: pts, Triangles: out}, nil
+}
+
+func canonical(t Triangle) [3]int {
+	v := [3]int{t.A, t.B, t.C}
+	sort.Ints(v[:])
+	return v
+}
+
+// Edges returns the undirected edge set of the triangulation, each edge once
+// with u < v, in sorted order.
+func (tr *Triangulation) Edges() [][2]int {
+	seen := make(map[[2]int]bool)
+	add := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		seen[[2]int{u, v}] = true
+	}
+	for _, t := range tr.Triangles {
+		add(t.A, t.B)
+		add(t.B, t.C)
+		add(t.C, t.A)
+	}
+	edges := make([][2]int, 0, len(seen))
+	for e := range seen {
+		edges = append(edges, e)
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i][0] != edges[j][0] {
+			return edges[i][0] < edges[j][0]
+		}
+		return edges[i][1] < edges[j][1]
+	})
+	return edges
+}

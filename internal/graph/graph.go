@@ -1,0 +1,316 @@
+// Package graph provides the weighted undirected graph substrate used by
+// every partitioner in this repository.
+//
+// Graphs are stored in compressed sparse row (CSR) form: a single adjacency
+// slice plus per-node offsets. This is the layout used by serious
+// partitioning codes (Chaco, METIS) because partitioners spend almost all of
+// their time streaming over adjacency lists; CSR keeps those scans contiguous
+// and allocation-free.
+//
+// A Graph is immutable after construction. Mutation (needed by the
+// incremental-partitioning workloads) goes through Builder, which accumulates
+// edges and emits a fresh CSR snapshot.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable weighted undirected graph in CSR form.
+//
+// Nodes are identified by dense indices 0..NumNodes()-1. Every undirected
+// edge {u,v} is stored twice, once in u's adjacency list and once in v's.
+// The zero value is an empty graph.
+type Graph struct {
+	offsets    []int32   // len = n+1; adjacency of node v is adj[offsets[v]:offsets[v+1]]
+	adj        []int32   // neighbor node indices, sorted within each node
+	edgeWeight []float64 // parallel to adj
+	nodeWeight []float64 // len = n
+	numEdges   int       // undirected edge count (each {u,v} counted once)
+	coords     []Point   // optional geometric embedding; nil or len = n
+}
+
+// Point is a 2-D coordinate attached to a node. Geometric partitioners (IBP,
+// RCB) require an embedding; purely combinatorial ones ignore it.
+type Point struct {
+	X, Y float64
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Degree returns the number of neighbors of node v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted neighbor indices of node v. The returned slice
+// aliases the graph's internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// EdgeWeights returns the edge weights parallel to Neighbors(v). The returned
+// slice aliases internal storage and must not be modified.
+func (g *Graph) EdgeWeights(v int) []float64 {
+	return g.edgeWeight[g.offsets[v]:g.offsets[v+1]]
+}
+
+// NodeWeight returns the computation weight of node v.
+func (g *Graph) NodeWeight(v int) float64 { return g.nodeWeight[v] }
+
+// TotalNodeWeight returns the sum of all node weights.
+func (g *Graph) TotalNodeWeight() float64 {
+	var s float64
+	for _, w := range g.nodeWeight {
+		s += w
+	}
+	return s
+}
+
+// HasCoords reports whether every node carries a geometric embedding.
+func (g *Graph) HasCoords() bool { return g.coords != nil }
+
+// Coord returns the embedding of node v. It panics if the graph has no
+// embedding; call HasCoords first.
+func (g *Graph) Coord(v int) Point {
+	if g.coords == nil {
+		panic("graph: Coord called on graph without coordinates")
+	}
+	return g.coords[v]
+}
+
+// HasEdge reports whether nodes u and v are adjacent, in O(log deg(u)).
+func (g *Graph) HasEdge(u, v int) bool {
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= int32(v) })
+	return i < len(nbrs) && nbrs[i] == int32(v)
+}
+
+// EdgeWeightBetween returns the weight of edge {u,v}, or 0 if absent.
+func (g *Graph) EdgeWeightBetween(u, v int) float64 {
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= int32(v) })
+	if i < len(nbrs) && nbrs[i] == int32(v) {
+		return g.EdgeWeights(u)[i]
+	}
+	return 0
+}
+
+// Edges calls fn once per undirected edge {u,v} with u < v, in increasing
+// (u, v) order. Iteration stops early if fn returns false.
+func (g *Graph) Edges(fn func(u, v int, w float64) bool) {
+	for u := 0; u < g.NumNodes(); u++ {
+		nbrs := g.Neighbors(u)
+		ws := g.EdgeWeights(u)
+		for i, v := range nbrs {
+			if int(v) > u {
+				if !fn(u, int(v), ws[i]) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Validate checks structural invariants: sorted adjacency, symmetric edges
+// with matching weights, no self loops, offsets monotone. It returns a
+// descriptive error for the first violation found. Graphs emitted by Builder
+// always validate; this exists to check hand-built or deserialized inputs.
+func (g *Graph) Validate() error {
+	n := g.NumNodes()
+	if len(g.nodeWeight) != n {
+		return fmt.Errorf("graph: %d node weights for %d nodes", len(g.nodeWeight), n)
+	}
+	if g.coords != nil && len(g.coords) != n {
+		return fmt.Errorf("graph: %d coords for %d nodes", len(g.coords), n)
+	}
+	if len(g.adj) != len(g.edgeWeight) {
+		return fmt.Errorf("graph: adjacency/weight length mismatch %d != %d", len(g.adj), len(g.edgeWeight))
+	}
+	for v := 0; v < n; v++ {
+		if g.offsets[v] > g.offsets[v+1] {
+			return fmt.Errorf("graph: offsets not monotone at node %d", v)
+		}
+		nbrs := g.Neighbors(v)
+		for i, u := range nbrs {
+			if int(u) == v {
+				return fmt.Errorf("graph: self loop at node %d", v)
+			}
+			if u < 0 || int(u) >= n {
+				return fmt.Errorf("graph: node %d has out-of-range neighbor %d", v, u)
+			}
+			if i > 0 && nbrs[i-1] >= u {
+				return fmt.Errorf("graph: adjacency of node %d not strictly sorted", v)
+			}
+			if !g.HasEdge(int(u), v) {
+				return fmt.Errorf("graph: edge %d->%d has no reverse", v, u)
+			}
+			if g.EdgeWeightBetween(int(u), v) != g.EdgeWeights(v)[i] {
+				return fmt.Errorf("graph: asymmetric weight on edge {%d,%d}", v, u)
+			}
+		}
+	}
+	if len(g.adj)%2 != 0 {
+		return fmt.Errorf("graph: odd directed-edge count %d", len(g.adj))
+	}
+	if g.numEdges != len(g.adj)/2 {
+		return fmt.Errorf("graph: edge count %d does not match adjacency %d", g.numEdges, len(g.adj)/2)
+	}
+	return nil
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// Duplicate edge insertions keep the last weight. The zero value is ready to
+// use.
+type Builder struct {
+	nodeWeight []float64
+	coords     []Point
+	hasCoords  bool
+	edges      map[edgeKey]float64
+}
+
+type edgeKey struct{ u, v int32 } // u < v
+
+// NewBuilder returns a Builder pre-sized for n nodes with unit weights and no
+// coordinates. More nodes may be added later.
+func NewBuilder(n int) *Builder {
+	b := &Builder{
+		nodeWeight: make([]float64, n),
+		edges:      make(map[edgeKey]float64),
+	}
+	for i := range b.nodeWeight {
+		b.nodeWeight[i] = 1
+	}
+	return b
+}
+
+// FromGraph returns a Builder initialized with a copy of g, for incremental
+// modification.
+func FromGraph(g *Graph) *Builder {
+	b := NewBuilder(g.NumNodes())
+	copy(b.nodeWeight, g.nodeWeight)
+	if g.coords != nil {
+		b.hasCoords = true
+		b.coords = append([]Point(nil), g.coords...)
+	}
+	g.Edges(func(u, v int, w float64) bool {
+		b.edges[edgeKey{int32(u), int32(v)}] = w
+		return true
+	})
+	return b
+}
+
+// NumNodes returns the current node count.
+func (b *Builder) NumNodes() int { return len(b.nodeWeight) }
+
+// AddNode appends a node with weight w and returns its index.
+func (b *Builder) AddNode(w float64) int {
+	b.nodeWeight = append(b.nodeWeight, w)
+	if b.hasCoords {
+		b.coords = append(b.coords, Point{})
+	}
+	return len(b.nodeWeight) - 1
+}
+
+// SetNodeWeight sets the weight of node v.
+func (b *Builder) SetNodeWeight(v int, w float64) { b.nodeWeight[v] = w }
+
+// SetCoord attaches coordinate p to node v, enabling the geometric embedding.
+// Once any coordinate is set, all nodes carry one (zero-valued by default).
+func (b *Builder) SetCoord(v int, p Point) {
+	if !b.hasCoords {
+		b.hasCoords = true
+		b.coords = make([]Point, len(b.nodeWeight))
+	}
+	for len(b.coords) < len(b.nodeWeight) {
+		b.coords = append(b.coords, Point{})
+	}
+	b.coords[v] = p
+}
+
+// AddEdge inserts undirected edge {u,v} with weight w. Inserting an existing
+// edge overwrites its weight. Self loops and out-of-range endpoints panic:
+// they are programming errors in generators, not recoverable input errors.
+func (b *Builder) AddEdge(u, v int, w float64) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self loop at node %d", u))
+	}
+	if u < 0 || v < 0 || u >= len(b.nodeWeight) || v >= len(b.nodeWeight) {
+		panic(fmt.Sprintf("graph: edge {%d,%d} out of range (n=%d)", u, v, len(b.nodeWeight)))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	b.edges[edgeKey{int32(u), int32(v)}] = w
+}
+
+// HasEdge reports whether {u,v} has been inserted.
+func (b *Builder) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	_, ok := b.edges[edgeKey{int32(u), int32(v)}]
+	return ok
+}
+
+// Build emits an immutable CSR snapshot of the accumulated graph.
+func (b *Builder) Build() *Graph {
+	n := len(b.nodeWeight)
+	deg := make([]int32, n)
+	for k := range b.edges {
+		deg[k.u]++
+		deg[k.v]++
+	}
+	offsets := make([]int32, n+1)
+	for v := 0; v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v]
+	}
+	adj := make([]int32, offsets[n])
+	ew := make([]float64, offsets[n])
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for k, w := range b.edges {
+		adj[cursor[k.u]], ew[cursor[k.u]] = k.v, w
+		cursor[k.u]++
+		adj[cursor[k.v]], ew[cursor[k.v]] = k.u, w
+		cursor[k.v]++
+	}
+	// Sort each adjacency list (weights move with their neighbors).
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		idx := adj[lo:hi]
+		wts := ew[lo:hi]
+		sort.Sort(&adjSorter{idx, wts})
+	}
+	g := &Graph{
+		offsets:    offsets,
+		adj:        adj,
+		edgeWeight: ew,
+		nodeWeight: append([]float64(nil), b.nodeWeight...),
+		numEdges:   len(b.edges),
+	}
+	if b.hasCoords {
+		g.coords = append([]Point(nil), b.coords...)
+		for len(g.coords) < n {
+			g.coords = append(g.coords, Point{})
+		}
+	}
+	return g
+}
+
+type adjSorter struct {
+	idx []int32
+	wts []float64
+}
+
+func (s *adjSorter) Len() int           { return len(s.idx) }
+func (s *adjSorter) Less(i, j int) bool { return s.idx[i] < s.idx[j] }
+func (s *adjSorter) Swap(i, j int) {
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+	s.wts[i], s.wts[j] = s.wts[j], s.wts[i]
+}

@@ -1,0 +1,429 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// path builds the path graph 0-1-2-...-(n-1) with unit weights.
+func path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	return b.Build()
+}
+
+// randomGraph builds a random graph on n nodes with edge probability p.
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				b.AddEdge(u, v, 1+rng.Float64())
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumNodes() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("empty graph invalid: %v", err)
+	}
+	if !g.IsConnected() {
+		t.Fatal("empty graph should be connected by convention")
+	}
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 2.5)
+	b.AddEdge(2, 1, 1)
+	b.AddEdge(3, 0, 4)
+	g := b.Build()
+	if g.NumNodes() != 4 {
+		t.Fatalf("NumNodes = %d, want 4", g.NumNodes())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge(1, 0) || !g.HasEdge(0, 1) {
+		t.Error("missing edge {0,1}")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge {0,2}")
+	}
+	if w := g.EdgeWeightBetween(3, 0); w != 4 {
+		t.Errorf("weight {3,0} = %v, want 4", w)
+	}
+	if w := g.EdgeWeightBetween(0, 2); w != 0 {
+		t.Errorf("weight of absent edge = %v, want 0", w)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuilderDuplicateEdgeKeepsLastWeight(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 0, 7)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if w := g.EdgeWeightBetween(0, 1); w != 7 {
+		t.Errorf("weight = %v, want 7 (last insertion wins)", w)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"self loop":    func() { NewBuilder(2).AddEdge(1, 1, 1) },
+		"out of range": func() { NewBuilder(2).AddEdge(0, 5, 1) },
+		"negative":     func() { NewBuilder(2).AddEdge(-1, 0, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestNeighborsSortedAndSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := randomGraph(rng, 40, 0.2)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	deg := 0
+	for v := 0; v < g.NumNodes(); v++ {
+		deg += g.Degree(v)
+	}
+	if deg != 2*g.NumEdges() {
+		t.Errorf("sum of degrees %d != 2*edges %d", deg, 2*g.NumEdges())
+	}
+}
+
+func TestEdgesIterationOrderAndCount(t *testing.T) {
+	g := path(5)
+	var got [][2]int
+	g.Edges(func(u, v int, w float64) bool {
+		got = append(got, [2]int{u, v})
+		return true
+	})
+	want := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d edges, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	g := path(10)
+	calls := 0
+	g.Edges(func(u, v int, w float64) bool {
+		calls++
+		return calls < 3
+	})
+	if calls != 3 {
+		t.Errorf("early stop after %d calls, want 3", calls)
+	}
+}
+
+func TestFromGraphRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomGraph(rng, 30, 0.15)
+	g2 := FromGraph(g).Build()
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed size: %d/%d vs %d/%d",
+			g2.NumNodes(), g2.NumEdges(), g.NumNodes(), g.NumEdges())
+	}
+	g.Edges(func(u, v int, w float64) bool {
+		if g2.EdgeWeightBetween(u, v) != w {
+			t.Errorf("edge {%d,%d} weight changed", u, v)
+		}
+		return true
+	})
+}
+
+func TestFromGraphExtend(t *testing.T) {
+	g := path(3)
+	b := FromGraph(g)
+	nv := b.AddNode(2)
+	b.AddEdge(nv, 0, 1)
+	g2 := b.Build()
+	if g2.NumNodes() != 4 || g2.NumEdges() != 3 {
+		t.Fatalf("extended graph: %d nodes %d edges", g2.NumNodes(), g2.NumEdges())
+	}
+	if g2.NodeWeight(3) != 2 {
+		t.Errorf("new node weight = %v, want 2", g2.NodeWeight(3))
+	}
+}
+
+func TestCoords(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, 1)
+	b.SetCoord(0, Point{1, 2})
+	b.SetCoord(1, Point{3, 4})
+	g := b.Build()
+	if !g.HasCoords() {
+		t.Fatal("HasCoords = false")
+	}
+	if g.Coord(1) != (Point{3, 4}) {
+		t.Errorf("Coord(1) = %v", g.Coord(1))
+	}
+	g2 := path(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Coord on graph without coords should panic")
+		}
+	}()
+	g2.Coord(0)
+}
+
+func TestCoordsAfterAddNode(t *testing.T) {
+	b := NewBuilder(1)
+	b.SetCoord(0, Point{1, 1})
+	b.AddNode(1) // node added after coords enabled
+	g := b.Build()
+	if g.Coord(1) != (Point{}) {
+		t.Errorf("late node coord = %v, want zero", g.Coord(1))
+	}
+}
+
+func TestBFSLevels(t *testing.T) {
+	g := path(5)
+	level := g.BFS(0)
+	for v, want := range []int{0, 1, 2, 3, 4} {
+		if level[v] != want {
+			t.Errorf("level[%d] = %d, want %d", v, level[v], want)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	// nodes 2,3 isolated
+	g := b.Build()
+	level := g.BFS(0)
+	if level[2] != -1 || level[3] != -1 {
+		t.Errorf("unreachable nodes got levels %d,%d", level[2], level[3])
+	}
+}
+
+func TestComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 4, 1)
+	g := b.Build()
+	comp, count := g.Components()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3 (two chains plus isolated node 5)", count)
+	}
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[3] != comp[4] {
+		t.Error("components not grouped correctly")
+	}
+	if comp[0] == comp[2] || comp[0] == comp[5] || comp[2] == comp[5] {
+		t.Error("distinct components share a label")
+	}
+	if g.IsConnected() {
+		t.Error("disconnected graph reported connected")
+	}
+}
+
+func TestPseudoPeripheralOnPath(t *testing.T) {
+	g := path(9)
+	v := g.PseudoPeripheral(4) // middle of the path
+	if v != 0 && v != 8 {
+		t.Errorf("PseudoPeripheral(4) = %d, want an endpoint", v)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 20, 0.3)
+	nodes := []int{2, 5, 7, 11, 13}
+	sub, orig := g.InducedSubgraph(nodes)
+	if sub.NumNodes() != len(nodes) {
+		t.Fatalf("sub nodes = %d", sub.NumNodes())
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("sub invalid: %v", err)
+	}
+	// Every sub edge must exist in g with the same weight, and vice versa.
+	sub.Edges(func(u, v int, w float64) bool {
+		if g.EdgeWeightBetween(orig[u], orig[v]) != w {
+			t.Errorf("sub edge {%d,%d} not in parent", orig[u], orig[v])
+		}
+		return true
+	})
+	for i, a := range nodes {
+		for j := i + 1; j < len(nodes); j++ {
+			if g.HasEdge(a, nodes[j]) != sub.HasEdge(i, j) {
+				t.Errorf("edge presence mismatch for {%d,%d}", a, nodes[j])
+			}
+		}
+	}
+}
+
+func TestIOGoldenRoundTrip(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 1.5)
+	b.AddEdge(1, 2, 2)
+	b.SetNodeWeight(2, 3)
+	b.SetCoord(0, Point{0.5, 1})
+	b.SetCoord(1, Point{1, 2})
+	b.SetCoord(2, Point{2, 0})
+	g := b.Build()
+
+	var buf bytes.Buffer
+	if _, err := g.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	g2, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if _, err := g2.WriteTo(&buf2); err != nil {
+		t.Fatalf("WriteTo 2: %v", err)
+	}
+	if buf2.String() == "" || g2.NumNodes() != 3 || g2.NumEdges() != 2 {
+		t.Fatal("round trip lost data")
+	}
+	if g2.Coord(2) != (Point{2, 0}) || g2.NodeWeight(2) != 3 {
+		t.Error("node attributes lost in round trip")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"no header":      "node 0 1\n",
+		"dup header":     "graph 1 0\ngraph 1 0\n",
+		"bad node id":    "graph 2 0\nnode 9 1\n",
+		"bad edge range": "graph 2 1\nedge 0 5 1\n",
+		"self loop":      "graph 2 1\nedge 1 1 1\n",
+		"unknown":        "graph 1 0\nfrobnicate\n",
+		"bad weight":     "graph 1 0\nnode 0 abc\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\ngraph 2 1\n# another\nnode 0 1\nnode 1 1\nedge 0 1 1\n"
+	g, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("edges = %d", g.NumEdges())
+	}
+}
+
+// Property: for any random graph, serialize→parse is the identity on
+// structure and weights.
+func TestQuickIORoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := randomGraph(rng, n, 0.3)
+		var buf bytes.Buffer
+		if _, err := g.WriteTo(&buf); err != nil {
+			return false
+		}
+		g2, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.Edges(func(u, v int, w float64) bool {
+			if g2.EdgeWeightBetween(u, v) != w {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Build always emits a graph that passes Validate, and degree sums
+// equal twice the edge count.
+func TestQuickBuildValidates(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		g := randomGraph(rng, n, rng.Float64()*0.5)
+		if g.Validate() != nil {
+			return false
+		}
+		deg := 0
+		for v := 0; v < n; v++ {
+			deg += g.Degree(v)
+		}
+		return deg == 2*g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: BFS levels differ by at most 1 across any edge.
+func TestQuickBFSLipschitz(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := randomGraph(rng, n, 0.2)
+		level := g.BFS(0)
+		ok := true
+		g.Edges(func(u, v int, w float64) bool {
+			lu, lv := level[u], level[v]
+			if lu >= 0 && lv >= 0 {
+				d := lu - lv
+				if d < -1 || d > 1 {
+					ok = false
+					return false
+				}
+			}
+			if (lu == -1) != (lv == -1) {
+				ok = false // one endpoint reachable, the other not: impossible
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is a line-oriented exchange format close to the Chaco/METIS
+// family, extended with optional coordinates:
+//
+//	graph <numNodes> <numEdges> [coords]
+//	node <id> <weight> [<x> <y>]        (one per node, ids 0..n-1 in order)
+//	edge <u> <v> <weight>               (one per undirected edge, u < v)
+//
+// Blank lines and lines starting with '#' are ignored. WriteTo always emits
+// nodes and edges in canonical order, so the format round-trips bit-for-bit.
+
+// WriteTo serializes g in the text format. It returns the number of bytes
+// written and the first write error, satisfying io.WriterTo.
+func (g *Graph) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	count := func(c int, err error) error {
+		n += int64(c)
+		return err
+	}
+	hdr := fmt.Sprintf("graph %d %d", g.NumNodes(), g.NumEdges())
+	if g.HasCoords() {
+		hdr += " coords"
+	}
+	if err := count(fmt.Fprintln(bw, hdr)); err != nil {
+		return n, err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		var err error
+		if g.HasCoords() {
+			p := g.Coord(v)
+			err = count(fmt.Fprintf(bw, "node %d %g %g %g\n", v, g.NodeWeight(v), p.X, p.Y))
+		} else {
+			err = count(fmt.Fprintf(bw, "node %d %g\n", v, g.NodeWeight(v)))
+		}
+		if err != nil {
+			return n, err
+		}
+	}
+	var outerErr error
+	g.Edges(func(u, v int, wt float64) bool {
+		if err := count(fmt.Fprintf(bw, "edge %d %d %g\n", u, v, wt)); err != nil {
+			outerErr = err
+			return false
+		}
+		return true
+	})
+	if outerErr != nil {
+		return n, outerErr
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a graph in the text format. It validates the result before
+// returning it.
+func Read(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var b *Builder
+	hasCoords := false
+	lineNo := 0
+	nodesSeen := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "graph":
+			if b != nil {
+				return nil, fmt.Errorf("graph: line %d: duplicate header", lineNo)
+			}
+			if len(fields) < 3 {
+				return nil, fmt.Errorf("graph: line %d: malformed header", lineNo)
+			}
+			nn, err := strconv.Atoi(fields[1])
+			if err != nil || nn < 0 {
+				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
+			}
+			b = NewBuilder(nn)
+			hasCoords = len(fields) > 3 && fields[3] == "coords"
+		case "node":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: node before header", lineNo)
+			}
+			want := 3
+			if hasCoords {
+				want = 5
+			}
+			if len(fields) != want {
+				return nil, fmt.Errorf("graph: line %d: node line needs %d fields, got %d", lineNo, want, len(fields))
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id < 0 || id >= b.NumNodes() {
+				return nil, fmt.Errorf("graph: line %d: bad node id %q", lineNo, fields[1])
+			}
+			w, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad node weight %q", lineNo, fields[2])
+			}
+			b.SetNodeWeight(id, w)
+			if hasCoords {
+				x, err1 := strconv.ParseFloat(fields[3], 64)
+				y, err2 := strconv.ParseFloat(fields[4], 64)
+				if err1 != nil || err2 != nil {
+					return nil, fmt.Errorf("graph: line %d: bad coordinates", lineNo)
+				}
+				b.SetCoord(id, Point{x, y})
+			}
+			nodesSeen++
+		case "edge":
+			if b == nil {
+				return nil, fmt.Errorf("graph: line %d: edge before header", lineNo)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("graph: line %d: edge line needs 4 fields, got %d", lineNo, len(fields))
+			}
+			u, err1 := strconv.Atoi(fields[1])
+			v, err2 := strconv.Atoi(fields[2])
+			w, err3 := strconv.ParseFloat(fields[3], 64)
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("graph: line %d: malformed edge", lineNo)
+			}
+			if u < 0 || v < 0 || u >= b.NumNodes() || v >= b.NumNodes() || u == v {
+				return nil, fmt.Errorf("graph: line %d: edge {%d,%d} out of range", lineNo, u, v)
+			}
+			b.AddEdge(u, v, w)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("graph: read: %w", err)
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	g := b.Build()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

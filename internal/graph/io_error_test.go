@@ -1,0 +1,112 @@
+package graph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failingWriter fails after n bytes, exercising WriteTo's error paths.
+type failingWriter struct {
+	n       int
+	written int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		can := w.n - w.written
+		if can < 0 {
+			can = 0
+		}
+		w.written += can
+		return can, errDiskFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteToPropagatesErrors(t *testing.T) {
+	b := NewBuilder(50)
+	for i := 0; i+1 < 50; i++ {
+		b.AddEdge(i, i+1, 1)
+	}
+	b.SetCoord(0, Point{1, 2})
+	g := b.Build()
+
+	// Establish the full size, then fail at several byte offsets spanning
+	// header, node lines, and edge lines.
+	var sb strings.Builder
+	total, err := g.WriteTo(&sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, limit := range []int{0, 3, int(total) / 2, int(total) - 2} {
+		w := &failingWriter{n: limit}
+		if _, err := g.WriteTo(w); err == nil {
+			t.Errorf("limit %d: WriteTo succeeded despite failing writer", limit)
+		}
+	}
+}
+
+// errReader returns an error mid-stream, exercising Read's scanner error
+// path.
+type errReader struct {
+	data string
+	done bool
+}
+
+func (r *errReader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, errDiskFull
+	}
+	r.done = true
+	return copy(p, r.data), nil
+}
+
+func TestReadPropagatesReaderErrors(t *testing.T) {
+	r := &errReader{data: "graph 2 1\nnode 0 1\n"}
+	if _, err := Read(r); err == nil {
+		t.Error("Read succeeded despite reader error")
+	}
+}
+
+func TestReadHugeLineRejected(t *testing.T) {
+	// Scanner buffer is capped at 1 MiB; a longer line must error, not hang.
+	long := "# " + strings.Repeat("x", 2<<20) + "\ngraph 1 0\nnode 0 1\n"
+	if _, err := Read(strings.NewReader(long)); err == nil {
+		t.Error("multi-megabyte line accepted")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	g := b.Build()
+
+	// Corrupt in targeted ways and check Validate notices each.
+	corrupt := func(name string, mutate func(*Graph)) {
+		t.Helper()
+		c := &Graph{
+			offsets:    append([]int32(nil), g.offsets...),
+			adj:        append([]int32(nil), g.adj...),
+			edgeWeight: append([]float64(nil), g.edgeWeight...),
+			nodeWeight: append([]float64(nil), g.nodeWeight...),
+			numEdges:   g.numEdges,
+		}
+		mutate(c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted corrupted graph", name)
+		}
+	}
+	corrupt("edge count", func(c *Graph) { c.numEdges = 7 })
+	corrupt("node weights", func(c *Graph) { c.nodeWeight = c.nodeWeight[:1] })
+	corrupt("asymmetric weight", func(c *Graph) { c.edgeWeight[0] = 99 })
+	corrupt("out of range neighbor", func(c *Graph) { c.adj[0] = 77 })
+	corrupt("self loop", func(c *Graph) {
+		// Make node 1's first neighbor itself.
+		c.adj[c.offsets[1]] = 1
+	})
+}

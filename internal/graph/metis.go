@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// METIS/Chaco graph format support, for interop with the ecosystem the
+// paper's baselines come from (Chaco implements RSB; METIS the multilevel
+// methods that superseded it).
+//
+// Format: a header line "n m [fmt]" followed by one line per vertex
+// (1-indexed) listing its neighbors. fmt is a 2-digit code: the tens digit
+// enables vertex weights (each vertex line starts with its weight), the
+// ones digit enables edge weights (each neighbor is followed by the edge
+// weight). Comment lines start with '%'. Coordinates are not part of the
+// format and are lost on a round trip.
+
+// WriteMETIS serializes g in METIS format. Vertex and edge weights are
+// emitted only when any differ from 1, keeping unit graphs in the simplest
+// form. METIS weights are integral; non-integral weights are rejected.
+func (g *Graph) WriteMETIS(w io.Writer) error {
+	n := g.NumNodes()
+	hasVW, hasEW := false, false
+	for v := 0; v < n; v++ {
+		if g.NodeWeight(v) != 1 {
+			hasVW = true
+		}
+	}
+	var badWeight error
+	g.Edges(func(u, v int, wt float64) bool {
+		if wt != 1 {
+			hasEW = true
+		}
+		if wt != float64(int64(wt)) {
+			badWeight = fmt.Errorf("graph: METIS requires integral edge weight, got %v on {%d,%d}", wt, u, v)
+			return false
+		}
+		return true
+	})
+	if badWeight != nil {
+		return badWeight
+	}
+	if hasVW {
+		for v := 0; v < n; v++ {
+			if wv := g.NodeWeight(v); wv != float64(int64(wv)) {
+				return fmt.Errorf("graph: METIS requires integral node weight, got %v on node %d", wv, v)
+			}
+		}
+	}
+	bw := bufio.NewWriter(w)
+	code := ""
+	switch {
+	case hasVW && hasEW:
+		code = " 11"
+	case hasVW:
+		code = " 10"
+	case hasEW:
+		code = " 1"
+	}
+	if _, err := fmt.Fprintf(bw, "%d %d%s\n", n, g.NumEdges(), code); err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		var parts []string
+		if hasVW {
+			parts = append(parts, strconv.FormatInt(int64(g.NodeWeight(v)), 10))
+		}
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			parts = append(parts, strconv.Itoa(int(u)+1))
+			if hasEW {
+				parts = append(parts, strconv.FormatInt(int64(ws[i]), 10))
+			}
+		}
+		if _, err := fmt.Fprintln(bw, strings.Join(parts, " ")); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMETIS parses a graph in METIS format, validating symmetry (the format
+// lists each edge from both endpoints; mismatched weights or one-sided
+// edges are errors).
+func ReadMETIS(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	line, err := nextMETISLine(sc)
+	if err != nil {
+		return nil, fmt.Errorf("graph: METIS header: %w", err)
+	}
+	hdr := strings.Fields(line)
+	if len(hdr) < 2 || len(hdr) > 3 {
+		return nil, fmt.Errorf("graph: malformed METIS header %q", line)
+	}
+	n, err1 := strconv.Atoi(hdr[0])
+	m, err2 := strconv.Atoi(hdr[1])
+	if err1 != nil || err2 != nil || n < 0 || m < 0 {
+		return nil, fmt.Errorf("graph: malformed METIS header %q", line)
+	}
+	hasVW, hasEW := false, false
+	if len(hdr) == 3 {
+		switch hdr[2] {
+		case "0", "00":
+		case "1", "01":
+			hasEW = true
+		case "10":
+			hasVW = true
+		case "11":
+			hasVW, hasEW = true, true
+		default:
+			return nil, fmt.Errorf("graph: unsupported METIS fmt code %q", hdr[2])
+		}
+	}
+	b := NewBuilder(n)
+	type half struct {
+		v, u int
+		w    float64
+	}
+	var halves []half
+	for v := 0; v < n; v++ {
+		line, err := nextMETISLine(sc)
+		if err != nil {
+			return nil, fmt.Errorf("graph: METIS vertex %d: %w", v+1, err)
+		}
+		fields := strings.Fields(line)
+		i := 0
+		if hasVW {
+			if len(fields) == 0 {
+				return nil, fmt.Errorf("graph: METIS vertex %d: missing weight", v+1)
+			}
+			wv, err := strconv.ParseFloat(fields[0], 64)
+			if err != nil {
+				return nil, fmt.Errorf("graph: METIS vertex %d: bad weight %q", v+1, fields[0])
+			}
+			b.SetNodeWeight(v, wv)
+			i = 1
+		}
+		for i < len(fields) {
+			u, err := strconv.Atoi(fields[i])
+			if err != nil || u < 1 || u > n {
+				return nil, fmt.Errorf("graph: METIS vertex %d: bad neighbor %q", v+1, fields[i])
+			}
+			i++
+			w := 1.0
+			if hasEW {
+				if i >= len(fields) {
+					return nil, fmt.Errorf("graph: METIS vertex %d: neighbor %d missing edge weight", v+1, u)
+				}
+				w, err = strconv.ParseFloat(fields[i], 64)
+				if err != nil {
+					return nil, fmt.Errorf("graph: METIS vertex %d: bad edge weight %q", v+1, fields[i])
+				}
+				i++
+			}
+			if u-1 == v {
+				return nil, fmt.Errorf("graph: METIS vertex %d: self loop", v+1)
+			}
+			halves = append(halves, half{v: v, u: u - 1, w: w})
+		}
+	}
+	// Verify symmetry: each ordered half-edge must have a matching reverse
+	// with equal weight.
+	type key struct{ a, b int }
+	seen := make(map[key]float64, len(halves))
+	for _, h := range halves {
+		seen[key{h.v, h.u}] = h.w
+	}
+	for _, h := range halves {
+		w, ok := seen[key{h.u, h.v}]
+		if !ok {
+			return nil, fmt.Errorf("graph: METIS edge %d->%d has no reverse", h.v+1, h.u+1)
+		}
+		if w != h.w {
+			return nil, fmt.Errorf("graph: METIS edge {%d,%d} has asymmetric weights", h.v+1, h.u+1)
+		}
+		if h.v < h.u {
+			b.AddEdge(h.v, h.u, h.w)
+		}
+	}
+	g := b.Build()
+	if g.NumEdges() != m {
+		return nil, fmt.Errorf("graph: METIS header claims %d edges, found %d", m, g.NumEdges())
+	}
+	return g, nil
+}
+
+// nextMETISLine returns the next non-comment, non-empty... actually METIS
+// treats an empty vertex line as "no neighbors", so only '%' comments are
+// skipped and empty lines are returned as-is.
+func nextMETISLine(sc *bufio.Scanner) (string, error) {
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(line), "%") {
+			continue
+		}
+		return line, nil
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", io.ErrUnexpectedEOF
+}

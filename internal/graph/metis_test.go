@@ -1,0 +1,184 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMETISRoundTripUnit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	b := NewBuilder(25)
+	for u := 0; u < 25; u++ {
+		for v := u + 1; v < 25; v++ {
+			if rng.Float64() < 0.2 {
+				b.AddEdge(u, v, 1)
+			}
+		}
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteMETIS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Unit graph: no fmt code in header.
+	first := strings.SplitN(buf.String(), "\n", 2)[0]
+	if len(strings.Fields(first)) != 2 {
+		t.Errorf("unit graph header %q should have 2 fields", first)
+	}
+	g2, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestMETISRoundTripWeighted(t *testing.T) {
+	b := NewBuilder(4)
+	b.SetNodeWeight(0, 3)
+	b.SetNodeWeight(2, 2)
+	b.AddEdge(0, 1, 5)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(2, 3, 7)
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := g.WriteMETIS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "11") {
+		t.Errorf("weighted graph header missing fmt 11: %q", buf.String())
+	}
+	g2, err := ReadMETIS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+	if g2.NodeWeight(0) != 3 || g2.NodeWeight(1) != 1 {
+		t.Error("node weights lost")
+	}
+}
+
+func assertSameGraph(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: %d/%d vs %d/%d", a.NumNodes(), a.NumEdges(), b.NumNodes(), b.NumEdges())
+	}
+	a.Edges(func(u, v int, w float64) bool {
+		if b.EdgeWeightBetween(u, v) != w {
+			t.Errorf("edge {%d,%d} weight %v vs %v", u, v, w, b.EdgeWeightBetween(u, v))
+		}
+		return true
+	})
+}
+
+func TestMETISKnownFixture(t *testing.T) {
+	// The classic example from the METIS manual: 7 vertices, 11 edges.
+	in := `% example graph
+7 11
+5 3 2
+1 3 4
+5 4 2 1
+2 3 6 7
+1 3 6
+5 4 7
+6 4
+`
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 7 || g.NumEdges() != 11 {
+		t.Fatalf("parsed %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if !g.HasEdge(0, 4) || !g.HasEdge(3, 6) || g.HasEdge(0, 6) {
+		t.Error("edge structure wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMETISIsolatedVertex(t *testing.T) {
+	in := "3 1\n2\n1\n\n" // vertex 3 has no neighbors (empty line)
+	g, err := ReadMETIS(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Degree(2) != 0 {
+		t.Errorf("vertex 3 degree %d", g.Degree(2))
+	}
+}
+
+func TestMETISRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"bad header":        "x y\n",
+		"asymmetric":        "2 1\n2\n\n",
+		"edge count":        "2 5\n2\n1\n",
+		"self loop":         "2 1\n1\n1\n", // vertex 1 listing itself
+		"neighbor range":    "2 1\n9\n1\n",
+		"bad fmt":           "2 1 99\n2\n1\n",
+		"missing ew":        "2 1 1\n2\n1 1\n",
+		"asymmetric weight": "2 1 1\n2 5\n1 6\n",
+		"truncated":         "3 2\n2\n1\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMETIS(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteMETISRejectsFractionalWeights(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 1, 1.5)
+	var buf bytes.Buffer
+	if err := b.Build().WriteMETIS(&buf); err == nil {
+		t.Error("fractional edge weight accepted")
+	}
+	b2 := NewBuilder(2)
+	b2.SetNodeWeight(0, 2.5)
+	b2.AddEdge(0, 1, 2) // integral edge weight, fractional node weight
+	if err := b2.Build().WriteMETIS(&buf); err == nil {
+		t.Error("fractional node weight accepted")
+	}
+}
+
+// Property: METIS round trip preserves arbitrary unit random graphs.
+func TestQuickMETISRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		b := NewBuilder(n)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Float64() < 0.25 {
+					b.AddEdge(u, v, float64(1+rng.Intn(9)))
+				}
+			}
+		}
+		g := b.Build()
+		var buf bytes.Buffer
+		if g.WriteMETIS(&buf) != nil {
+			return false
+		}
+		g2, err := ReadMETIS(&buf)
+		if err != nil || g2.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.Edges(func(u, v int, w float64) bool {
+			if g2.EdgeWeightBetween(u, v) != w {
+				ok = false
+				return false
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+// Package greedy implements two further deterministic baselines from the
+// families the paper's introduction surveys: a BFS region-growing
+// partitioner (a simple clustering/mincut-flavored heuristic, in the spirit
+// of Farhat's greedy algorithm) and scattered decomposition (round-robin
+// assignment, the classic cut-oblivious strawman used for load balancing
+// irregular problems).
+//
+// Both are useful as GA seeds and as lower/upper anchors when reading the
+// experiment tables: region growing is decent and cheap; scattered is
+// perfectly balanced and maximally cut-hostile.
+package greedy
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// RegionGrow partitions g into parts parts by growing one region at a time:
+// starting from a pseudo-peripheral node, a region absorbs the frontier
+// node with the most neighbors already inside the region (ties: lower
+// degree first, then lower id) until it reaches its size quota, then the
+// next region starts from the unassigned node nearest the previous region's
+// boundary. The last region takes whatever remains.
+func RegionGrow(g *graph.Graph, parts int) (*partition.Partition, error) {
+	n := g.NumNodes()
+	if parts <= 0 {
+		return nil, fmt.Errorf("greedy: invalid part count %d", parts)
+	}
+	p := partition.New(n, parts)
+	if n == 0 {
+		return p, nil
+	}
+	assigned := make([]bool, n)
+	remaining := n
+	start := g.PseudoPeripheral(0)
+
+	for q := 0; q < parts; q++ {
+		quota := remaining / (parts - q) // evens out rounding across regions
+		if q == parts-1 {
+			quota = remaining
+		}
+		if quota == 0 {
+			continue
+		}
+		// Find a start node: `start` if unassigned, else the unassigned node
+		// with the most assigned neighbors (touching previous regions), else
+		// the lowest unassigned id.
+		s := -1
+		if !assigned[start] {
+			s = start
+		} else {
+			bestTouch := -1
+			for v := 0; v < n; v++ {
+				if assigned[v] {
+					continue
+				}
+				touch := 0
+				for _, u := range g.Neighbors(v) {
+					if assigned[u] {
+						touch++
+					}
+				}
+				if touch > bestTouch {
+					bestTouch, s = touch, v
+				}
+			}
+		}
+		// Grow the region.
+		p.Assign[s] = uint16(q)
+		assigned[s] = true
+		remaining--
+		size := 1
+		// inRegion counts, for each unassigned node, neighbors inside the
+		// current region.
+		inRegion := make([]int, n)
+		for _, u := range g.Neighbors(s) {
+			inRegion[u]++
+		}
+		for size < quota {
+			best := -1
+			for v := 0; v < n; v++ {
+				if assigned[v] || inRegion[v] == 0 {
+					continue
+				}
+				if best < 0 ||
+					inRegion[v] > inRegion[best] ||
+					(inRegion[v] == inRegion[best] && g.Degree(v) < g.Degree(best)) {
+					best = v
+				}
+			}
+			if best < 0 {
+				// Region's component exhausted: jump to the lowest
+				// unassigned node.
+				for v := 0; v < n; v++ {
+					if !assigned[v] {
+						best = v
+						break
+					}
+				}
+			}
+			p.Assign[best] = uint16(q)
+			assigned[best] = true
+			remaining--
+			size++
+			for _, u := range g.Neighbors(best) {
+				inRegion[u]++
+			}
+		}
+	}
+	return p, nil
+}
+
+// Scattered performs scattered decomposition: nodes sorted by index are
+// dealt round-robin to the parts. Perfect balance, no locality — the
+// baseline that motivates everything else.
+func Scattered(n, parts int) (*partition.Partition, error) {
+	if parts <= 0 {
+		return nil, fmt.Errorf("greedy: invalid part count %d", parts)
+	}
+	p := partition.New(n, parts)
+	for v := 0; v < n; v++ {
+		p.Assign[v] = uint16(v % parts)
+	}
+	return p, nil
+}
+
+// StripIndex partitions by sorting nodes on one coordinate (x if wide,
+// y otherwise) and slicing into contiguous strips — one-level coordinate
+// decomposition, the "geometry-based mapping" strawman. Requires
+// coordinates.
+func StripIndex(g *graph.Graph, parts int) (*partition.Partition, error) {
+	n := g.NumNodes()
+	if parts <= 0 {
+		return nil, fmt.Errorf("greedy: invalid part count %d", parts)
+	}
+	if !g.HasCoords() {
+		return nil, fmt.Errorf("greedy: StripIndex requires coordinates")
+	}
+	p := partition.New(n, parts)
+	if n == 0 {
+		return p, nil
+	}
+	minX, maxX := g.Coord(0).X, g.Coord(0).X
+	minY, maxY := g.Coord(0).Y, g.Coord(0).Y
+	for v := 1; v < n; v++ {
+		c := g.Coord(v)
+		if c.X < minX {
+			minX = c.X
+		}
+		if c.X > maxX {
+			maxX = c.X
+		}
+		if c.Y < minY {
+			minY = c.Y
+		}
+		if c.Y > maxY {
+			maxY = c.Y
+		}
+	}
+	byX := maxX-minX >= maxY-minY
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := g.Coord(order[a]), g.Coord(order[b])
+		if byX {
+			if ca.X != cb.X {
+				return ca.X < cb.X
+			}
+			return ca.Y < cb.Y
+		}
+		if ca.Y != cb.Y {
+			return ca.Y < cb.Y
+		}
+		return ca.X < cb.X
+	})
+	for rank, v := range order {
+		p.Assign[v] = uint16(rank * parts / n)
+	}
+	return p, nil
+}

@@ -1,0 +1,184 @@
+// Package ibp implements the Index-Based Partitioning algorithm described in
+// the paper's appendix (Ou, Ranka & Fox 1993).
+//
+// IBP has three phases: indexing (convert each node's N-dimensional
+// coordinate to a one-dimensional index that preserves spatial proximity),
+// sorting by index, and coloring (splitting the sorted list into P equal
+// sublists). Two indexings are provided: row-major and shuffled row-major
+// (bit interleaving, also known as Morton or Z-order), including the paper's
+// generalization to unequal per-dimension bit counts.
+package ibp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Indexing selects how multi-dimensional grid cells are linearized.
+type Indexing int
+
+const (
+	// RowMajor indexes cells left-to-right, top-to-bottom (Figure 1a).
+	RowMajor Indexing = iota
+	// ShuffledRowMajor interleaves the bits of the cell coordinates
+	// (Figure 1b); nearby cells get nearby indices at every scale.
+	ShuffledRowMajor
+)
+
+// String names the indexing scheme.
+func (ix Indexing) String() string {
+	switch ix {
+	case RowMajor:
+		return "row-major"
+	case ShuffledRowMajor:
+		return "shuffled-row-major"
+	default:
+		return fmt.Sprintf("Indexing(%d)", int(ix))
+	}
+}
+
+// Interleave computes the shuffled row-major index of a cell whose
+// per-dimension coordinates are coords with bits[i] significant bits each.
+// Bits are chosen right to left from each dimension in turn, starting from
+// the last dimension, exactly as the paper's appendix specifies; dimensions
+// whose bits are exhausted are skipped.
+//
+// Interleave(coords=[a], bits=[k]) == a, so one-dimensional input is the
+// identity.
+func Interleave(coords []uint64, bits []int) uint64 {
+	if len(coords) != len(bits) {
+		panic(fmt.Sprintf("ibp: %d coords with %d bit counts", len(coords), len(bits)))
+	}
+	var out uint64
+	pos := 0
+	maxBits := 0
+	for _, b := range bits {
+		if b > maxBits {
+			maxBits = b
+		}
+	}
+	for level := 0; level < maxBits; level++ {
+		// "choosing bits (right to left) of each of the dimensions one by
+		// one, starting from dimension 3" — i.e., the last dimension first.
+		for d := len(coords) - 1; d >= 0; d-- {
+			if level >= bits[d] {
+				continue // this dimension's bits are exhausted
+			}
+			bit := (coords[d] >> uint(level)) & 1
+			out |= bit << uint(pos)
+			pos++
+		}
+	}
+	return out
+}
+
+// CellIndex computes the linear index of cell (x, y) in a 2^bx x 2^by grid
+// under the chosen indexing. Row-major follows Figure 1a (x = column,
+// y = row); shuffled row-major follows Figure 1b.
+func CellIndex(ix Indexing, x, y uint64, bx, by int) uint64 {
+	switch ix {
+	case RowMajor:
+		return y<<uint(bx) | x
+	case ShuffledRowMajor:
+		// Interleave with y as dimension 1 and x as dimension 2 so that,
+		// per the appendix's right-to-left-starting-from-last rule, the x
+		// bit lands in the least significant position. This reproduces
+		// Figure 1b exactly (cell (1,0) -> 1, cell (0,1) -> 2).
+		return Interleave([]uint64{y, x}, []int{by, bx})
+	default:
+		panic(fmt.Sprintf("ibp: unknown indexing %d", int(ix)))
+	}
+}
+
+// gridBits returns the number of bits needed to address n cells per side.
+func gridBits(cells int) int {
+	b := 0
+	for (1 << uint(b)) < cells {
+		b++
+	}
+	return b
+}
+
+// Partition partitions g into parts parts with IBP. The graph must carry
+// coordinates. Nodes are binned into a 2^b x 2^b grid over their bounding box
+// (b chosen so the grid has at least as many cells as nodes), indexed,
+// sorted, and the sorted list is divided into parts equal sublists.
+// Ties (nodes in the same cell) are broken by node id, so the result is
+// deterministic.
+func Partition(g *graph.Graph, parts int, ix Indexing) (*partition.Partition, error) {
+	n := g.NumNodes()
+	if !g.HasCoords() {
+		return nil, fmt.Errorf("ibp: graph has no coordinates")
+	}
+	if parts <= 0 {
+		return nil, fmt.Errorf("ibp: invalid part count %d", parts)
+	}
+	if n == 0 {
+		return partition.New(0, parts), nil
+	}
+	// Grid resolution: at least sqrt(n) cells per side, rounded to a power
+	// of two, times 2 for slack so few nodes share a cell.
+	side := 1
+	for side*side < 4*n {
+		side *= 2
+	}
+	b := gridBits(side)
+
+	minX, minY := g.Coord(0).X, g.Coord(0).Y
+	maxX, maxY := minX, minY
+	for v := 1; v < n; v++ {
+		p := g.Coord(v)
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	type keyed struct {
+		idx uint64
+		v   int
+	}
+	keys := make([]keyed, n)
+	last := uint64(side - 1)
+	for v := 0; v < n; v++ {
+		p := g.Coord(v)
+		cx := uint64(float64(side) * (p.X - minX) / spanX)
+		cy := uint64(float64(side) * (p.Y - minY) / spanY)
+		if cx > last {
+			cx = last
+		}
+		if cy > last {
+			cy = last
+		}
+		keys[v] = keyed{CellIndex(ix, cx, cy, b, b), v}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].idx != keys[j].idx {
+			return keys[i].idx < keys[j].idx
+		}
+		return keys[i].v < keys[j].v
+	})
+	p := partition.New(n, parts)
+	for rank, k := range keys {
+		// Split into parts contiguous sublists as evenly as possible.
+		p.Assign[k.v] = uint16(rank * parts / n)
+	}
+	return p, nil
+}

@@ -1,0 +1,315 @@
+// Package kl provides local refinement of partitions: classic Kernighan–Lin
+// pairwise-swap bisection improvement, and the boundary hill climbing of the
+// paper's §3.6 ("only the boundary points of each part are examined to see if
+// migrating them to the appropriate neighboring part improves fitness").
+package kl
+
+import (
+	"math"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// HillClimb performs steepest-descent boundary migration on p in place until
+// no single-node move improves the fitness o, or maxPasses passes complete
+// (maxPasses <= 0 means unlimited). It returns the number of moves made.
+//
+// Each pass scans the boundary nodes; for each, it evaluates moving the node
+// to every neighboring part and takes the best strictly-improving move. This
+// is exactly the paper's hill-climbing step: offspring are driven to the
+// nearest local optimum of the fitness function. Move deltas are computed
+// incrementally in O(deg(v) + parts), not by re-evaluating the fitness, so
+// the GA can afford hill climbing on every offspring.
+func HillClimb(g *graph.Graph, p *partition.Partition, o partition.Objective, maxPasses int) int {
+	c := newClimber(g, p, o)
+	moves := 0
+	for pass := 0; maxPasses <= 0 || pass < maxPasses; pass++ {
+		improved := false
+		for _, v := range p.BoundaryNodes(g) {
+			if c.tryBestMove(v) {
+				moves++
+				improved = true
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return moves
+}
+
+// climber caches the per-part weights and cuts of a partition so single-node
+// move deltas are incremental.
+type climber struct {
+	g        *graph.Graph
+	p        *partition.Partition
+	o        partition.Objective
+	weights  []float64 // node weight per part
+	partCuts []float64 // C(q) per part (WorstCut only)
+	avg      float64
+}
+
+func newClimber(g *graph.Graph, p *partition.Partition, o partition.Objective) *climber {
+	c := &climber{
+		g:       g,
+		p:       p,
+		o:       o,
+		weights: p.PartWeights(g),
+		avg:     g.TotalNodeWeight() / float64(p.Parts),
+	}
+	if o == partition.WorstCut {
+		c.partCuts = p.PartCuts(g)
+	}
+	return c
+}
+
+// moveDelta returns (fitness delta, C(from) delta, C(to) delta) for moving v
+// to part `to`. Only C(from) and C(to) change: an edge (v,u) with u in a
+// third part c contributes to C(c) both before and after the move.
+func (c *climber) moveDelta(v, to int) (fit, dFrom, dTo float64) {
+	from := int(c.p.Assign[v])
+	var wFrom, wTo, wOther float64
+	ws := c.g.EdgeWeights(v)
+	for i, u := range c.g.Neighbors(v) {
+		switch int(c.p.Assign[u]) {
+		case from:
+			wFrom += ws[i]
+		case to:
+			wTo += ws[i]
+		default:
+			wOther += ws[i]
+		}
+	}
+	// Cut deltas: edges to `from` become cut, edges to `to` become internal,
+	// edges to other parts transfer between C(from) and C(to).
+	dFrom = wFrom - wTo - wOther
+	dTo = wFrom - wTo + wOther
+
+	// Imbalance delta.
+	wv := c.g.NodeWeight(v)
+	before := sq(c.weights[from]-c.avg) + sq(c.weights[to]-c.avg)
+	after := sq(c.weights[from]-wv-c.avg) + sq(c.weights[to]+wv-c.avg)
+	imbDelta := after - before
+
+	switch c.o {
+	case partition.TotalCut:
+		// Fitness 1 counts every cut edge twice: Σ_q C(q) changes by
+		// dFrom + dTo.
+		fit = -(imbDelta + dFrom + dTo)
+	case partition.WorstCut:
+		curMax, newMax := 0.0, 0.0
+		for q, cut := range c.partCuts {
+			if cut > curMax {
+				curMax = cut
+			}
+			eff := cut
+			switch q {
+			case from:
+				eff += dFrom
+			case to:
+				eff += dTo
+			}
+			if eff > newMax {
+				newMax = eff
+			}
+		}
+		fit = -(imbDelta + newMax - curMax)
+	}
+	return fit, dFrom, dTo
+}
+
+// tryBestMove moves v to the neighboring part that most improves fitness, if
+// any strictly does, updating the cached state.
+func (c *climber) tryBestMove(v int) bool {
+	from := int(c.p.Assign[v])
+	cand := map[int]bool{}
+	for _, u := range c.g.Neighbors(v) {
+		q := int(c.p.Assign[u])
+		if q != from {
+			cand[q] = true
+		}
+	}
+	if len(cand) == 0 {
+		return false
+	}
+	bestTo := -1
+	var bestFit, bestDFrom, bestDTo float64
+	for to := range cand {
+		fit, dF, dT := c.moveDelta(v, to)
+		if fit > 1e-12 && (bestTo < 0 || fit > bestFit) {
+			bestTo, bestFit, bestDFrom, bestDTo = to, fit, dF, dT
+		}
+	}
+	if bestTo < 0 {
+		return false
+	}
+	wv := c.g.NodeWeight(v)
+	c.weights[from] -= wv
+	c.weights[bestTo] += wv
+	if c.partCuts != nil {
+		c.partCuts[from] += bestDFrom
+		c.partCuts[bestTo] += bestDTo
+	}
+	c.p.Assign[v] = uint16(bestTo)
+	return true
+}
+
+func sq(x float64) float64 { return x * x }
+
+// Bisect improves a 2-way partition with the classic Kernighan–Lin pass
+// structure: compute gains, greedily swap the best unlocked pair, lock both,
+// repeat to exhaustion, then keep the prefix of swaps with the best
+// cumulative gain. Repeats passes until one yields no improvement. The
+// partition must have exactly 2 parts; part sizes are preserved exactly
+// (KL swaps, never moves). Returns the total cut reduction achieved.
+func Bisect(g *graph.Graph, p *partition.Partition) float64 {
+	if p.Parts != 2 {
+		panic("kl: Bisect requires a 2-way partition")
+	}
+	n := g.NumNodes()
+	total := 0.0
+	for {
+		// D[v] = external - internal cost of v.
+		d := make([]float64, n)
+		for v := 0; v < n; v++ {
+			ws := g.EdgeWeights(v)
+			for i, u := range g.Neighbors(v) {
+				if p.Assign[u] == p.Assign[v] {
+					d[v] -= ws[i]
+				} else {
+					d[v] += ws[i]
+				}
+			}
+		}
+		locked := make([]bool, n)
+		type swap struct {
+			a, b int
+			gain float64
+		}
+		var seq []swap
+		work := p.Clone()
+		for {
+			// Find best unlocked cross pair. O(n²) per level: fine for the
+			// paper's graph sizes; the GA uses HillClimb, not this, in its
+			// inner loop.
+			bestA, bestB, bestGain := -1, -1, math.Inf(-1)
+			for a := 0; a < n; a++ {
+				if locked[a] || work.Assign[a] != 0 {
+					continue
+				}
+				for b := 0; b < n; b++ {
+					if locked[b] || work.Assign[b] != 1 {
+						continue
+					}
+					gain := d[a] + d[b] - 2*g.EdgeWeightBetween(a, b)
+					if gain > bestGain {
+						bestA, bestB, bestGain = a, b, gain
+					}
+				}
+			}
+			if bestA < 0 {
+				break
+			}
+			seq = append(seq, swap{bestA, bestB, bestGain})
+			locked[bestA], locked[bestB] = true, true
+			work.Assign[bestA], work.Assign[bestB] = 1, 0
+			// Update D values of unlocked nodes.
+			for _, x := range []int{bestA, bestB} {
+				ws := g.EdgeWeights(x)
+				for i, u := range g.Neighbors(x) {
+					if locked[u] {
+						continue
+					}
+					// After x switched sides: edges to u flip internal/external.
+					if work.Assign[u] == work.Assign[x] {
+						d[u] -= 2 * ws[i]
+					} else {
+						d[u] += 2 * ws[i]
+					}
+				}
+			}
+		}
+		// Best prefix.
+		bestK, bestSum, sum := 0, 0.0, 0.0
+		for i, s := range seq {
+			sum += s.gain
+			if sum > bestSum {
+				bestK, bestSum = i+1, sum
+			}
+		}
+		if bestK == 0 {
+			return total
+		}
+		for i := 0; i < bestK; i++ {
+			p.Assign[seq[i].a], p.Assign[seq[i].b] = p.Assign[seq[i].b], p.Assign[seq[i].a]
+		}
+		total += bestSum
+	}
+}
+
+// Refine improves a k-way partition by running HillClimb with the TotalCut
+// objective, then rebalancing if hill climbing skewed part sizes: while some
+// part exceeds the ideal size by more than one node, its boundary node whose
+// move costs least is shifted to the lightest neighboring part.
+func Refine(g *graph.Graph, p *partition.Partition, maxPasses int) {
+	HillClimb(g, p, partition.TotalCut, maxPasses)
+	rebalance(g, p)
+}
+
+// rebalance enforces near-perfect balance (max size - min size <= 1 for unit
+// weights) by moving cheapest boundary nodes out of overweight parts.
+func rebalance(g *graph.Graph, p *partition.Partition) {
+	n := g.NumNodes()
+	ideal := float64(n) / float64(p.Parts)
+	for iter := 0; iter < n; iter++ {
+		sizes := p.PartSizes()
+		over, under := -1, -1
+		for q, s := range sizes {
+			if float64(s) > ideal+1 && (over < 0 || s > sizes[over]) {
+				over = q
+			}
+			if under < 0 || s < sizes[under] {
+				under = q
+			}
+		}
+		if over < 0 {
+			return
+		}
+		// Cheapest node of part `over` to move to `under`: maximize
+		// (edges into under) - (edges inside over).
+		bestV, bestScore := -1, math.Inf(-1)
+		for _, v := range p.BoundaryNodes(g) {
+			if int(p.Assign[v]) != over {
+				continue
+			}
+			var score float64
+			ws := g.EdgeWeights(v)
+			for i, u := range g.Neighbors(v) {
+				switch int(p.Assign[u]) {
+				case under:
+					score += ws[i]
+				case over:
+					score -= ws[i]
+				}
+			}
+			if score > bestScore {
+				bestV, bestScore = v, score
+			}
+		}
+		if bestV < 0 {
+			// No boundary node in the overweight part touches anything:
+			// move an arbitrary node (disconnected part).
+			for v := 0; v < n; v++ {
+				if int(p.Assign[v]) == over {
+					bestV = v
+					break
+				}
+			}
+			if bestV < 0 {
+				return
+			}
+		}
+		p.Assign[bestV] = uint16(under)
+	}
+}

@@ -1,0 +1,73 @@
+package kl
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestRefineFixesGrossImbalance(t *testing.T) {
+	// Everything in part 0: rebalance must redistribute into all 4 parts.
+	g := gen.Mesh(80, 21)
+	p := partition.New(g.NumNodes(), 4)
+	Refine(g, p, 2)
+	sizes := p.PartSizes()
+	for q, s := range sizes {
+		if s == 0 {
+			t.Errorf("part %d still empty after rebalance: %v", q, sizes)
+		}
+	}
+	ideal := float64(g.NumNodes()) / 4
+	for q, s := range sizes {
+		if float64(s) > ideal+2 {
+			t.Errorf("part %d overweight after rebalance: %v", q, sizes)
+		}
+	}
+}
+
+func TestRefineHandlesDisconnectedOverweightPart(t *testing.T) {
+	// An overweight part with NO boundary nodes (its own component) forces
+	// the arbitrary-node fallback in rebalance.
+	m1 := gen.Mesh(30, 22)
+	b := graph.FromGraph(m1)
+	// Second component of 10 isolated-chain nodes, all in part 0 below.
+	first := -1
+	for i := 0; i < 10; i++ {
+		v := b.AddNode(1)
+		if first < 0 {
+			first = v
+		} else {
+			b.AddEdge(v-1, v, 1)
+		}
+	}
+	g := b.Build()
+	p := partition.New(g.NumNodes(), 2)
+	// Component 1 (the mesh) split evenly; the isolated chain all in part 0,
+	// making part 0 overweight with its surplus unreachable from part 1.
+	for v := 0; v < 15; v++ {
+		p.Assign[v] = 1
+	}
+	Refine(g, p, 1)
+	sizes := p.PartSizes()
+	diff := sizes[0] - sizes[1]
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 4 {
+		t.Errorf("rebalance left sizes %v", sizes)
+	}
+}
+
+func TestRefinePreservesValidity(t *testing.T) {
+	g := gen.Mesh(60, 23)
+	p := partition.New(g.NumNodes(), 3)
+	for v := 0; v < 10; v++ {
+		p.Assign[v] = 1
+	}
+	Refine(g, p, 0)
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}

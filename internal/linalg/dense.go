@@ -1,0 +1,174 @@
+// Package linalg provides the numerical linear algebra needed by recursive
+// spectral bisection: dense symmetric eigensolvers (cyclic Jacobi), Lanczos
+// tridiagonalization with full reorthogonalization, and a symmetric
+// tridiagonal QL eigensolver with implicit shifts. Everything is stdlib-only
+// and deterministic.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// SymDense is a dense symmetric n x n matrix stored fully (both triangles)
+// in row-major order. It is small-n oriented: RSB on the paper's graphs
+// (n <= 309) uses the dense path; Lanczos covers larger graphs.
+type SymDense struct {
+	N    int
+	Data []float64 // len N*N, Data[i*N+j]
+}
+
+// NewSymDense allocates an n x n zero matrix.
+func NewSymDense(n int) *SymDense {
+	return &SymDense{N: n, Data: make([]float64, n*n)}
+}
+
+// At returns element (i, j).
+func (m *SymDense) At(i, j int) float64 { return m.Data[i*m.N+j] }
+
+// Set assigns element (i, j) and its mirror (j, i).
+func (m *SymDense) Set(i, j int, v float64) {
+	m.Data[i*m.N+j] = v
+	m.Data[j*m.N+i] = v
+}
+
+// MulVec computes dst = M * x. dst and x must have length N and must not
+// alias.
+func (m *SymDense) MulVec(dst, x []float64) {
+	if len(dst) != m.N || len(x) != m.N {
+		panic(fmt.Sprintf("linalg: MulVec size mismatch: %d, %d vs N=%d", len(dst), len(x), m.N))
+	}
+	for i := 0; i < m.N; i++ {
+		row := m.Data[i*m.N : (i+1)*m.N]
+		var s float64
+		for j, r := range row {
+			s += r * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// JacobiEigen computes all eigenvalues and eigenvectors of a symmetric matrix
+// with the cyclic Jacobi rotation method. It returns eigenvalues in ascending
+// order and the matching eigenvectors as columns of V (V[i*n+k] is component
+// i of eigenvector k). The input matrix is not modified.
+//
+// Jacobi is O(n³) per sweep but unconditionally stable and simple to verify
+// — the right tool for n of a few hundred.
+func JacobiEigen(m *SymDense) (eigenvalues []float64, V []float64, err error) {
+	n := m.N
+	if n == 0 {
+		return nil, nil, fmt.Errorf("linalg: empty matrix")
+	}
+	a := append([]float64(nil), m.Data...)
+	v := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		v[i*n+i] = 1
+	}
+	const maxSweeps = 100
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		// Off-diagonal Frobenius norm.
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += 2 * a[i*n+j] * a[i*n+j]
+			}
+		}
+		if math.Sqrt(off) < 1e-12*(1+frobenius(a, n)) {
+			return extractEigen(a, v, n)
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := a[p*n+q]
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := a[p*n+p], a[q*n+q]
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Apply rotation to A: A' = Jᵀ A J.
+				for k := 0; k < n; k++ {
+					akp, akq := a[k*n+p], a[k*n+q]
+					a[k*n+p] = c*akp - s*akq
+					a[k*n+q] = s*akp + c*akq
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := a[p*n+k], a[q*n+k]
+					a[p*n+k] = c*apk - s*aqk
+					a[q*n+k] = s*apk + c*aqk
+				}
+				// Accumulate eigenvectors.
+				for k := 0; k < n; k++ {
+					vkp, vkq := v[k*n+p], v[k*n+q]
+					v[k*n+p] = c*vkp - s*vkq
+					v[k*n+q] = s*vkp + c*vkq
+				}
+			}
+		}
+	}
+	return nil, nil, fmt.Errorf("linalg: Jacobi did not converge in %d sweeps", maxSweeps)
+}
+
+func frobenius(a []float64, n int) float64 {
+	var s float64
+	for _, x := range a {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// extractEigen sorts the diagonal of a (eigenvalues) ascending and reorders
+// the columns of v to match.
+func extractEigen(a, v []float64, n int) ([]float64, []float64, error) {
+	type ev struct {
+		val float64
+		col int
+	}
+	evs := make([]ev, n)
+	for i := 0; i < n; i++ {
+		evs[i] = ev{a[i*n+i], i}
+	}
+	// Insertion sort: n is small and this keeps the ordering stable.
+	for i := 1; i < n; i++ {
+		for j := i; j > 0 && evs[j].val < evs[j-1].val; j-- {
+			evs[j], evs[j-1] = evs[j-1], evs[j]
+		}
+	}
+	vals := make([]float64, n)
+	vecs := make([]float64, n*n)
+	for k, e := range evs {
+		vals[k] = e.val
+		for i := 0; i < n; i++ {
+			vecs[i*n+k] = v[i*n+e.col]
+		}
+	}
+	return vals, vecs, nil
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float64) float64 {
+	var s float64
+	for i, xi := range x {
+		s += xi * y[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 { return math.Sqrt(Dot(x, x)) }
+
+// Axpy computes y += a*x in place.
+func Axpy(a float64, x, y []float64) {
+	for i, xi := range x {
+		y[i] += a * xi
+	}
+}
+
+// Scale multiplies x by a in place.
+func Scale(a float64, x []float64) {
+	for i := range x {
+		x[i] *= a
+	}
+}

@@ -1,0 +1,249 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MatVec abstracts a symmetric linear operator, so Lanczos can run on a
+// sparse graph Laplacian without materializing it densely.
+type MatVec interface {
+	// Dim returns the operator's dimension.
+	Dim() int
+	// Apply computes dst = A * x. dst and x have length Dim and do not alias.
+	Apply(dst, x []float64)
+}
+
+// TridiagQL computes all eigenvalues and (optionally) eigenvectors of the
+// symmetric tridiagonal matrix with diagonal d and sub/super-diagonal e
+// (e[0] unused, e[i] couples rows i-1 and i), using the implicit QL algorithm
+// with Wilkinson shifts — the classic tqli routine.
+//
+// d and e are modified in place; on return d holds the eigenvalues
+// (unsorted). If z is non-nil it must be an n x n row-major matrix whose
+// columns are rotated alongside (pass identity to get tridiagonal
+// eigenvectors; pass the Lanczos basis to get Ritz vectors).
+func TridiagQL(d, e []float64, z []float64) error {
+	n := len(d)
+	if n == 0 {
+		return fmt.Errorf("linalg: empty tridiagonal")
+	}
+	if len(e) != n {
+		return fmt.Errorf("linalg: e length %d, want %d", len(e), n)
+	}
+	// Shift e down: internally e[i] couples i and i+1.
+	for i := 1; i < n; i++ {
+		e[i-1] = e[i]
+	}
+	e[n-1] = 0
+	for l := 0; l < n; l++ {
+		for iter := 0; ; iter++ {
+			if iter > 50 {
+				return fmt.Errorf("linalg: TridiagQL did not converge at row %d", l)
+			}
+			var m int
+			for m = l; m < n-1; m++ {
+				dd := math.Abs(d[m]) + math.Abs(d[m+1])
+				if math.Abs(e[m]) <= 1e-15*dd {
+					break
+				}
+			}
+			if m == l {
+				break
+			}
+			g := (d[l+1] - d[l]) / (2 * e[l])
+			r := math.Hypot(g, 1)
+			g = d[m] - d[l] + e[l]/(g+math.Copysign(r, g))
+			s, c := 1.0, 1.0
+			p := 0.0
+			for i := m - 1; i >= l; i-- {
+				f := s * e[i]
+				b := c * e[i]
+				r = math.Hypot(f, g)
+				e[i+1] = r
+				if r == 0 {
+					d[i+1] -= p
+					e[m] = 0
+					break
+				}
+				s = f / r
+				c = g / r
+				g = d[i+1] - p
+				r = (d[i]-g)*s + 2*c*b
+				p = s * r
+				d[i+1] = g + p
+				g = c*r - b
+				if z != nil {
+					for k := 0; k < n; k++ {
+						f := z[k*n+i+1]
+						z[k*n+i+1] = s*z[k*n+i] + c*f
+						z[k*n+i] = c*z[k*n+i] - s*f
+					}
+				}
+			}
+			if r == 0 && m-1 >= l {
+				continue
+			}
+			d[l] -= p
+			e[l] = g
+			e[m] = 0
+		}
+	}
+	return nil
+}
+
+// Lanczos runs the Lanczos iteration with full reorthogonalization on the
+// symmetric operator A, returning the k smallest Ritz values and their Ritz
+// vectors (columns of V, row-major n x k). rng seeds the start vector;
+// deflate, if non-empty, lists vectors the iteration stays orthogonal to
+// (pass the constant vector to skip the Laplacian's trivial null space).
+//
+// maxIter bounds the Krylov dimension; min(n, max(2k+20, 40)) is a good
+// default and is used when maxIter <= 0.
+func Lanczos(A MatVec, k int, rng *rand.Rand, deflate [][]float64, maxIter int) (vals []float64, V []float64, err error) {
+	n := A.Dim()
+	if k <= 0 || k > n {
+		return nil, nil, fmt.Errorf("linalg: Lanczos k=%d out of range (n=%d)", k, n)
+	}
+	if maxIter <= 0 {
+		maxIter = 2*k + 20
+		if maxIter < 40 {
+			maxIter = 40
+		}
+	}
+	if maxIter > n {
+		maxIter = n
+	}
+	if maxIter < k {
+		maxIter = k
+	}
+
+	// Orthonormalize the deflation set.
+	var defl [][]float64
+	for _, dv := range deflate {
+		v := append([]float64(nil), dv...)
+		for _, u := range defl {
+			Axpy(-Dot(u, v), u, v)
+		}
+		if nrm := Norm2(v); nrm > 1e-12 {
+			Scale(1/nrm, v)
+			defl = append(defl, v)
+		}
+	}
+	project := func(v []float64) {
+		for _, u := range defl {
+			Axpy(-Dot(u, v), u, v)
+		}
+	}
+
+	basis := make([][]float64, 0, maxIter)
+	alpha := make([]float64, 0, maxIter)
+	beta := make([]float64, 0, maxIter) // beta[j] couples basis[j], basis[j+1]
+
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.Float64() - 0.5
+	}
+	project(v)
+	nrm := Norm2(v)
+	if nrm < 1e-12 {
+		return nil, nil, fmt.Errorf("linalg: start vector annihilated by deflation")
+	}
+	Scale(1/nrm, v)
+	basis = append(basis, v)
+
+	w := make([]float64, n)
+	for j := 0; j < maxIter; j++ {
+		A.Apply(w, basis[j])
+		a := Dot(basis[j], w)
+		alpha = append(alpha, a)
+		Axpy(-a, basis[j], w)
+		if j > 0 {
+			Axpy(-beta[j-1], basis[j-1], w)
+		}
+		// Full reorthogonalization (twice is enough).
+		for pass := 0; pass < 2; pass++ {
+			project(w)
+			for _, u := range basis {
+				Axpy(-Dot(u, w), u, w)
+			}
+		}
+		b := Norm2(w)
+		if j+1 >= maxIter {
+			break
+		}
+		if b < 1e-12 {
+			// Invariant subspace found: restart with a fresh random direction.
+			for i := range w {
+				w[i] = rng.Float64() - 0.5
+			}
+			for pass := 0; pass < 2; pass++ {
+				project(w)
+				for _, u := range basis {
+					Axpy(-Dot(u, w), u, w)
+				}
+			}
+			b = Norm2(w)
+			if b < 1e-12 {
+				break // space exhausted
+			}
+			b = 0 // decouple the blocks
+			nw := append([]float64(nil), w...)
+			Scale(1/Norm2(nw), nw)
+			beta = append(beta, 0)
+			basis = append(basis, nw)
+			continue
+		}
+		nw := append([]float64(nil), w...)
+		Scale(1/b, nw)
+		beta = append(beta, b)
+		basis = append(basis, nw)
+	}
+
+	m := len(alpha)
+	if m < k {
+		return nil, nil, fmt.Errorf("linalg: Lanczos stalled at dimension %d < k=%d", m, k)
+	}
+	// Solve the tridiagonal eigenproblem.
+	d := append([]float64(nil), alpha...)
+	e := make([]float64, m)
+	for j := 1; j < m; j++ {
+		e[j] = beta[j-1]
+	}
+	z := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		z[i*m+i] = 1
+	}
+	if err := TridiagQL(d, e, z); err != nil {
+		return nil, nil, err
+	}
+	// Sort ascending.
+	idx := make([]int, m)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < m; i++ {
+		for j := i; j > 0 && d[idx[j]] < d[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	vals = make([]float64, k)
+	V = make([]float64, n*k)
+	for kk := 0; kk < k; kk++ {
+		col := idx[kk]
+		vals[kk] = d[col]
+		// Ritz vector: sum_j z[j][col] * basis[j].
+		for j := 0; j < m; j++ {
+			c := z[j*m+col]
+			if c == 0 {
+				continue
+			}
+			bj := basis[j]
+			for i := 0; i < n; i++ {
+				V[i*k+kk] += c * bj[i]
+			}
+		}
+	}
+	return vals, V, nil
+}

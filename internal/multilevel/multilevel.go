@@ -1,0 +1,187 @@
+// Package multilevel implements the graph contraction scheme the paper
+// names as the enabler for partitioning large graphs with GAs ("Applying a
+// prior graph contraction step should precede the partitioning of very
+// large graphs using GA's", citing Barnard & Simon's multilevel RSB).
+//
+// Coarsening uses heavy-edge matching: visit nodes in random order, match
+// each unmatched node with its unmatched neighbor across the heaviest edge,
+// and collapse matched pairs into a single node whose weight is the sum and
+// whose edges accumulate the originals. The coarsest graph is partitioned by
+// any Partitioner (GA or RSB here), and the result is projected back up the
+// hierarchy with boundary refinement at every level.
+package multilevel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/kl"
+	"repro/internal/partition"
+)
+
+// Partitioner partitions a (coarse) graph into parts parts.
+type Partitioner func(g *graph.Graph, parts int, rng *rand.Rand) (*partition.Partition, error)
+
+// Level is one step of the coarsening hierarchy.
+type Level struct {
+	Graph *graph.Graph
+	// CoarseOf[v] is the coarse node that fine node v collapsed into
+	// (indices into the next-coarser graph).
+	CoarseOf []int
+}
+
+// Coarsen collapses g by one level of heavy-edge matching and returns the
+// coarser graph and the fine→coarse map. Node weights add; parallel edges
+// accumulate weight; self-edges (internal to a matched pair) vanish.
+func Coarsen(g *graph.Graph, rng *rand.Rand) (*graph.Graph, []int) {
+	n := g.NumNodes()
+	match := make([]int, n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(n)
+	for _, v := range order {
+		if match[v] != -1 {
+			continue
+		}
+		bestU, bestW := -1, -1.0
+		ws := g.EdgeWeights(v)
+		for i, u := range g.Neighbors(v) {
+			if match[u] == -1 && ws[i] > bestW {
+				bestU, bestW = int(u), ws[i]
+			}
+		}
+		if bestU >= 0 {
+			match[v], match[bestU] = bestU, v
+		} else {
+			match[v] = v // matched with itself
+		}
+	}
+	coarseOf := make([]int, n)
+	next := 0
+	for v := 0; v < n; v++ {
+		if match[v] >= v { // representative of its pair (or singleton)
+			coarseOf[v] = next
+			if match[v] != v {
+				coarseOf[match[v]] = next
+			}
+			next++
+		}
+	}
+	b := graph.NewBuilder(next)
+	// Coarse node weights and coordinates (weight-averaged midpoint).
+	wsum := make([]float64, next)
+	var cx, cy []float64
+	if g.HasCoords() {
+		cx = make([]float64, next)
+		cy = make([]float64, next)
+	}
+	for v := 0; v < n; v++ {
+		c := coarseOf[v]
+		w := g.NodeWeight(v)
+		wsum[c] += w
+		if g.HasCoords() {
+			p := g.Coord(v)
+			cx[c] += w * p.X
+			cy[c] += w * p.Y
+		}
+	}
+	for c := 0; c < next; c++ {
+		b.SetNodeWeight(c, wsum[c])
+		if g.HasCoords() && wsum[c] > 0 {
+			b.SetCoord(c, graph.Point{X: cx[c] / wsum[c], Y: cy[c] / wsum[c]})
+		}
+	}
+	// Accumulate edge weights between coarse nodes.
+	acc := make(map[[2]int]float64)
+	g.Edges(func(u, v int, w float64) bool {
+		cu, cv := coarseOf[u], coarseOf[v]
+		if cu == cv {
+			return true
+		}
+		if cu > cv {
+			cu, cv = cv, cu
+		}
+		acc[[2]int{cu, cv}] += w
+		return true
+	})
+	for e, w := range acc {
+		b.AddEdge(e[0], e[1], w)
+	}
+	return b.Build(), coarseOf
+}
+
+// Config parameterizes a multilevel partitioning run.
+type Config struct {
+	Parts int
+	// CoarsestSize stops coarsening once the graph is at or below this many
+	// nodes; default 64.
+	CoarsestSize int
+	// MaxLevels bounds the hierarchy depth; default 20.
+	MaxLevels int
+	// RefinePasses bounds per-level boundary refinement; default 4.
+	RefinePasses int
+	Seed         int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.CoarsestSize == 0 {
+		out.CoarsestSize = 64
+	}
+	if out.MaxLevels == 0 {
+		out.MaxLevels = 20
+	}
+	if out.RefinePasses == 0 {
+		out.RefinePasses = 4
+	}
+	return out
+}
+
+// Partition coarsens g, partitions the coarsest graph with inner, and
+// projects the result back up with KL-style boundary refinement at every
+// level.
+func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partition, error) {
+	c := cfg.withDefaults()
+	if c.Parts <= 0 {
+		return nil, fmt.Errorf("multilevel: invalid part count %d", c.Parts)
+	}
+	if inner == nil {
+		return nil, fmt.Errorf("multilevel: inner partitioner required")
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+
+	// Build the hierarchy.
+	var levels []Level
+	cur := g
+	for len(levels) < c.MaxLevels && cur.NumNodes() > c.CoarsestSize {
+		coarse, coarseOf := Coarsen(cur, rng)
+		if coarse.NumNodes() >= cur.NumNodes() {
+			break // matching found nothing to merge
+		}
+		levels = append(levels, Level{Graph: cur, CoarseOf: coarseOf})
+		cur = coarse
+	}
+
+	// Partition the coarsest graph.
+	p, err := inner(cur, c.Parts, rng)
+	if err != nil {
+		return nil, fmt.Errorf("multilevel: coarse partition: %w", err)
+	}
+
+	// Project back up, refining at each level.
+	for i := len(levels) - 1; i >= 0; i-- {
+		lvl := levels[i]
+		fine := partition.New(lvl.Graph.NumNodes(), c.Parts)
+		for v := range fine.Assign {
+			fine.Assign[v] = p.Assign[lvl.CoarseOf[v]]
+		}
+		kl.Refine(lvl.Graph, fine, c.RefinePasses)
+		p = fine
+	}
+	if err := p.Validate(g); err != nil {
+		return nil, fmt.Errorf("multilevel: projection produced invalid partition: %w", err)
+	}
+	return p, nil
+}

@@ -1,0 +1,187 @@
+package multilevel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ga"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+	"repro/internal/spectral"
+)
+
+func TestCoarsenHalvesRoughly(t *testing.T) {
+	g := gen.Mesh(200, 1)
+	rng := rand.New(rand.NewSource(2))
+	coarse, coarseOf := Coarsen(g, rng)
+	if coarse.NumNodes() >= g.NumNodes() {
+		t.Fatalf("coarsening did not shrink: %d -> %d", g.NumNodes(), coarse.NumNodes())
+	}
+	// Heavy-edge matching on a connected mesh should merge most nodes:
+	// coarse size between n/2 and ~0.75n.
+	if coarse.NumNodes() > 3*g.NumNodes()/4 {
+		t.Errorf("weak coarsening: %d -> %d", g.NumNodes(), coarse.NumNodes())
+	}
+	if len(coarseOf) != g.NumNodes() {
+		t.Fatalf("coarseOf length %d", len(coarseOf))
+	}
+	for v, c := range coarseOf {
+		if c < 0 || c >= coarse.NumNodes() {
+			t.Fatalf("node %d maps to out-of-range coarse node %d", v, c)
+		}
+	}
+}
+
+func TestCoarsenPreservesTotalNodeWeight(t *testing.T) {
+	g := gen.Mesh(150, 3)
+	rng := rand.New(rand.NewSource(4))
+	coarse, _ := Coarsen(g, rng)
+	if math.Abs(coarse.TotalNodeWeight()-g.TotalNodeWeight()) > 1e-9 {
+		t.Errorf("node weight changed: %v -> %v", g.TotalNodeWeight(), coarse.TotalNodeWeight())
+	}
+	if err := coarse.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoarsenPreservesCutStructure(t *testing.T) {
+	// The cut of a coarse partition equals the cut of its projection:
+	// collapsing preserves total inter-group edge weight.
+	g := gen.Mesh(120, 5)
+	rng := rand.New(rand.NewSource(6))
+	coarse, coarseOf := Coarsen(g, rng)
+	cp := partition.RandomBalanced(coarse.NumNodes(), 4, rng)
+	fp := partition.New(g.NumNodes(), 4)
+	for v := range fp.Assign {
+		fp.Assign[v] = cp.Assign[coarseOf[v]]
+	}
+	if math.Abs(cp.CutSize(coarse)-fp.CutSize(g)) > 1e-9 {
+		t.Errorf("cut not preserved: coarse %v vs fine %v", cp.CutSize(coarse), fp.CutSize(g))
+	}
+}
+
+func TestCoarsenKeepsConnectivity(t *testing.T) {
+	g := gen.Mesh(100, 7)
+	rng := rand.New(rand.NewSource(8))
+	coarse, _ := Coarsen(g, rng)
+	if !coarse.IsConnected() {
+		t.Error("coarsening disconnected a connected graph")
+	}
+}
+
+func rsbInner(g *graph.Graph, parts int, rng *rand.Rand) (*partition.Partition, error) {
+	return spectral.Partition(g, parts, rng)
+}
+
+func gaInner(g *graph.Graph, parts int, rng *rand.Rand) (*partition.Partition, error) {
+	est := partition.RandomBalanced(g.NumNodes(), parts, rng)
+	e, err := ga.New(g, ga.Config{
+		Parts:     parts,
+		PopSize:   40,
+		Crossover: ga.NewDKNUX(est),
+		Seed:      rng.Int63(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(40).Part, nil
+}
+
+func TestPartitionWithRSBInner(t *testing.T) {
+	g := gen.Mesh(400, 9)
+	p, err := Partition(g, Config{Parts: 4, Seed: 1}, rsbInner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Quality sanity: multilevel should beat random by a wide margin.
+	rng := rand.New(rand.NewSource(2))
+	randCut := partition.RandomBalanced(g.NumNodes(), 4, rng).CutSize(g)
+	if cut := p.CutSize(g); cut > randCut/2 {
+		t.Errorf("multilevel cut %v vs random %v", cut, randCut)
+	}
+}
+
+func TestPartitionWithGAInner(t *testing.T) {
+	g := gen.Mesh(300, 10)
+	p, err := Partition(g, Config{Parts: 4, CoarsestSize: 50, Seed: 3}, gaInner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	// Balance after refinement: within a few nodes.
+	sizes := p.PartSizes()
+	min, max := sizes[0], sizes[0]
+	for _, s := range sizes {
+		if s < min {
+			min = s
+		}
+		if s > max {
+			max = s
+		}
+	}
+	if max-min > 8 {
+		t.Errorf("multilevel+GA imbalance: %v", sizes)
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := gen.Mesh(50, 1)
+	if _, err := Partition(g, Config{Parts: 0}, rsbInner); err == nil {
+		t.Error("0 parts accepted")
+	}
+	if _, err := Partition(g, Config{Parts: 2}, nil); err == nil {
+		t.Error("nil inner accepted")
+	}
+}
+
+func TestSmallGraphSkipsCoarsening(t *testing.T) {
+	// A graph already below CoarsestSize goes straight to the inner
+	// partitioner.
+	g := gen.Mesh(30, 2)
+	p, err := Partition(g, Config{Parts: 2, CoarsestSize: 64, Seed: 1}, rsbInner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: coarsening preserves total edge weight minus internal (matched)
+// edges — equivalently, coarse total edge weight <= fine total edge weight,
+// and node weight is exactly conserved.
+func TestQuickCoarsenConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(150)
+		g := gen.Mesh(n, seed)
+		coarse, coarseOf := Coarsen(g, rng)
+		if coarse.Validate() != nil || len(coarseOf) != n {
+			return false
+		}
+		if math.Abs(coarse.TotalNodeWeight()-g.TotalNodeWeight()) > 1e-9 {
+			return false
+		}
+		var fineW, coarseW float64
+		g.Edges(func(u, v int, w float64) bool {
+			fineW += w
+			return true
+		})
+		coarse.Edges(func(u, v int, w float64) bool {
+			coarseW += w
+			return true
+		})
+		return coarseW <= fineW+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package paperdata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// Comparison is the outcome of matching one regenerated table against the
+// paper's published numbers.
+type Comparison struct {
+	TableID string
+	// Rows: one line per (group, parts) cell with both methods' paper and
+	// measured values plus who won in each.
+	Rows []ComparisonRow
+	// ShapeAgreement is the fraction of comparable cells where the winner
+	// (DKNUX vs RSB, with ties counting as agreement with either) matches
+	// the paper.
+	ShapeAgreement float64
+}
+
+// ComparisonRow is one cell of the comparison.
+type ComparisonRow struct {
+	Group                   string
+	Parts                   int
+	PaperDKNUX, PaperRSB    float64
+	MeasDKNUX, MeasRSB      float64
+	PaperWinner, MeasWinner string
+	Agree                   bool
+}
+
+// Compare matches a regenerated bench.Table against the paper's data for
+// the same table number. Measured rows are located by method substring
+// ("DKNUX", "RSB") in the row label. Cells missing on either side are
+// skipped.
+func Compare(tableNum int, measured bench.Table) Comparison {
+	paper, ok := Tables[tableNum]
+	cmp := Comparison{TableID: measured.ID}
+	if !ok {
+		return cmp
+	}
+	agree, comparable := 0, 0
+	for _, g := range measured.Groups {
+		pv, ok := paper.Values[g.Label]
+		if !ok {
+			continue
+		}
+		var mD, mR []float64
+		for _, r := range g.Rows {
+			switch {
+			case strings.Contains(r.Label, "DKNUX"):
+				mD = r.Values
+			case strings.Contains(r.Label, "RSB"):
+				mR = r.Values
+			}
+		}
+		if mD == nil || mR == nil {
+			continue
+		}
+		for i, parts := range measured.Parts {
+			if i >= len(paper.Parts) || paper.Parts[i] != parts {
+				continue
+			}
+			pd, pr := pv["DKNUX"][i], pv["RSB"][i]
+			row := ComparisonRow{
+				Group: g.Label, Parts: parts,
+				PaperDKNUX: pd, PaperRSB: pr,
+				MeasDKNUX: mD[i], MeasRSB: mR[i],
+				PaperWinner: winnerOf(pd, pr),
+				MeasWinner:  winnerOf(mD[i], mR[i]),
+			}
+			if row.PaperWinner != "n/a" {
+				comparable++
+				row.Agree = row.PaperWinner == row.MeasWinner ||
+					row.PaperWinner == "tie" || row.MeasWinner == "tie"
+				if row.Agree {
+					agree++
+				}
+			}
+			cmp.Rows = append(cmp.Rows, row)
+		}
+	}
+	if comparable > 0 {
+		cmp.ShapeAgreement = float64(agree) / float64(comparable)
+	}
+	return cmp
+}
+
+func winnerOf(d, r float64) string {
+	switch {
+	case d < 0 || r < 0:
+		return "n/a"
+	case d < r:
+		return "DKNUX"
+	case r < d:
+		return "RSB"
+	default:
+		return "tie"
+	}
+}
+
+// Format renders the comparison as an aligned text block.
+func (c Comparison) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — measured vs paper (winner per cell)\n", c.TableID)
+	fmt.Fprintf(&sb, "%-22s %5s | %8s %8s %7s | %8s %8s %7s | %s\n",
+		"graph", "parts", "paperDK", "paperRSB", "pWin", "measDK", "measRSB", "mWin", "agree")
+	rows := append([]ComparisonRow(nil), c.Rows...)
+	sort.SliceStable(rows, func(a, b int) bool {
+		if rows[a].Group != rows[b].Group {
+			return rows[a].Group < rows[b].Group
+		}
+		return rows[a].Parts < rows[b].Parts
+	})
+	for _, r := range rows {
+		mark := "yes"
+		if !r.Agree {
+			mark = "NO"
+		}
+		if r.PaperWinner == "n/a" {
+			mark = "-"
+		}
+		fmt.Fprintf(&sb, "%-22s %5d | %8s %8s %7s | %8.0f %8.0f %7s | %s\n",
+			r.Group, r.Parts, fmtOrBlank(r.PaperDKNUX), fmtOrBlank(r.PaperRSB),
+			r.PaperWinner, r.MeasDKNUX, r.MeasRSB, r.MeasWinner, mark)
+	}
+	fmt.Fprintf(&sb, "shape agreement: %.0f%%\n", 100*c.ShapeAgreement)
+	return sb.String()
+}
+
+func fmtOrBlank(v float64) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", v)
+}

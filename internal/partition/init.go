@@ -1,0 +1,116 @@
+package partition
+
+import (
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Random returns a uniformly random partition of n nodes into parts parts.
+// Every part label is drawn independently; balance is left to the fitness
+// function, matching the paper's "randomly initialized population".
+func Random(n, parts int, rng *rand.Rand) *Partition {
+	p := New(n, parts)
+	for v := range p.Assign {
+		p.Assign[v] = uint16(rng.Intn(parts))
+	}
+	return p
+}
+
+// RandomBalanced returns a random partition with part sizes as equal as
+// possible: a random permutation of nodes dealt round-robin into parts.
+func RandomBalanced(n, parts int, rng *rand.Rand) *Partition {
+	p := New(n, parts)
+	perm := rng.Perm(n)
+	for i, v := range perm {
+		p.Assign[v] = uint16(i % parts)
+	}
+	return p
+}
+
+// Perturb returns a copy of p with each node's part resampled uniformly with
+// probability rate. Seeding a GA population with perturbed copies of one
+// heuristic solution gives diversity around a good starting point.
+func (p *Partition) Perturb(rate float64, rng *rand.Rand) *Partition {
+	c := p.Clone()
+	for v := range c.Assign {
+		if rng.Float64() < rate {
+			c.Assign[v] = uint16(rng.Intn(c.Parts))
+		}
+	}
+	return c
+}
+
+// ExtendRandomBalanced extends an old partition to a grown graph: nodes that
+// existed before keep their parts, and each new node is assigned to a part
+// drawn uniformly from the currently lightest parts, "ensuring that balance
+// is maintained" as the paper's incremental seeding prescribes.
+func ExtendRandomBalanced(old *Partition, g *graph.Graph, rng *rand.Rand) *Partition {
+	n := g.NumNodes()
+	p := New(n, old.Parts)
+	copy(p.Assign, old.Assign)
+	w := make([]float64, old.Parts)
+	for v := 0; v < len(old.Assign); v++ {
+		w[p.Assign[v]] += g.NodeWeight(v)
+	}
+	for v := len(old.Assign); v < n; v++ {
+		// Collect the set of lightest parts and pick one at random.
+		min := w[0]
+		for _, x := range w[1:] {
+			if x < min {
+				min = x
+			}
+		}
+		var lightest []int
+		for q, x := range w {
+			if x == min {
+				lightest = append(lightest, q)
+			}
+		}
+		q := lightest[rng.Intn(len(lightest))]
+		p.Assign[v] = uint16(q)
+		w[q] += g.NodeWeight(v)
+	}
+	return p
+}
+
+// ExtendMajorityNeighbor extends an old partition to a grown graph with the
+// deterministic rule the paper uses as its incremental baseline: each new
+// node goes "to the part to which most of its nearest neighbors belong".
+// Ties break toward the lighter part, then the lower part id. New nodes are
+// processed in index order; a new node's already-assigned new neighbors
+// count toward the majority.
+func ExtendMajorityNeighbor(old *Partition, g *graph.Graph) *Partition {
+	n := g.NumNodes()
+	p := New(n, old.Parts)
+	copy(p.Assign, old.Assign)
+	w := make([]float64, old.Parts)
+	for v := 0; v < len(old.Assign); v++ {
+		w[p.Assign[v]] += g.NodeWeight(v)
+	}
+	assigned := make([]bool, n)
+	for v := 0; v < len(old.Assign); v++ {
+		assigned[v] = true
+	}
+	for v := len(old.Assign); v < n; v++ {
+		votes := make([]int, old.Parts)
+		for _, u := range g.Neighbors(v) {
+			if assigned[u] {
+				votes[p.Assign[u]]++
+			}
+		}
+		best := 0
+		for q := 1; q < old.Parts; q++ {
+			switch {
+			case votes[q] > votes[best]:
+				best = q
+			case votes[q] == votes[best] && w[q] < w[best]:
+				best = q
+			}
+		}
+		p.Assign[v] = uint16(best)
+		w[best] += g.NodeWeight(v)
+		assigned[v] = true
+	}
+	return p
+}

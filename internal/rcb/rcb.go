@@ -1,0 +1,144 @@
+// Package rcb implements two classic deterministic partitioning baselines the
+// paper's introduction cites: recursive coordinate bisection (RCB), which
+// splits along the longer geometric axis at the median coordinate, and
+// recursive graph bisection (RGB), which splits by BFS distance from a
+// pseudo-peripheral node. Both recurse to produce power-of-two part counts.
+package rcb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// Method selects the bisection rule.
+type Method int
+
+const (
+	// Coordinate splits at the median of the longer axis (RCB).
+	Coordinate Method = iota
+	// GraphBFS splits at the median BFS level from a pseudo-peripheral
+	// node (RGB).
+	GraphBFS
+)
+
+// String names the method.
+func (m Method) String() string {
+	switch m {
+	case Coordinate:
+		return "recursive-coordinate-bisection"
+	case GraphBFS:
+		return "recursive-graph-bisection"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Partition divides g into parts parts (a power of two) with the chosen
+// method. Coordinate requires a geometric embedding.
+func Partition(g *graph.Graph, parts int, m Method) (*partition.Partition, error) {
+	if parts <= 0 || parts&(parts-1) != 0 {
+		return nil, fmt.Errorf("rcb: parts must be a power of two, got %d", parts)
+	}
+	if m == Coordinate && !g.HasCoords() {
+		return nil, fmt.Errorf("rcb: coordinate bisection requires coordinates")
+	}
+	p := partition.New(g.NumNodes(), parts)
+	nodes := make([]int, g.NumNodes())
+	for i := range nodes {
+		nodes[i] = i
+	}
+	recurse(g, nodes, 0, parts, p, m)
+	return p, nil
+}
+
+func recurse(g *graph.Graph, nodes []int, base, span int, p *partition.Partition, m Method) {
+	if span == 1 || len(nodes) == 0 {
+		for _, v := range nodes {
+			p.Assign[v] = uint16(base)
+		}
+		return
+	}
+	var order []int
+	switch m {
+	case Coordinate:
+		order = coordinateOrder(g, nodes)
+	case GraphBFS:
+		order = bfsOrder(g, nodes)
+	default:
+		panic(fmt.Sprintf("rcb: unknown method %d", int(m)))
+	}
+	half := (len(order) + 1) / 2
+	recurse(g, order[:half], base, span/2, p, m)
+	recurse(g, order[half:], base+span/2, span/2, p, m)
+}
+
+// coordinateOrder sorts nodes along the longer axis of their bounding box.
+func coordinateOrder(g *graph.Graph, nodes []int) []int {
+	minX, minY := g.Coord(nodes[0]).X, g.Coord(nodes[0]).Y
+	maxX, maxY := minX, minY
+	for _, v := range nodes[1:] {
+		c := g.Coord(v)
+		if c.X < minX {
+			minX = c.X
+		}
+		if c.Y < minY {
+			minY = c.Y
+		}
+		if c.X > maxX {
+			maxX = c.X
+		}
+		if c.Y > maxY {
+			maxY = c.Y
+		}
+	}
+	byX := maxX-minX >= maxY-minY
+	order := append([]int(nil), nodes...)
+	sort.SliceStable(order, func(a, b int) bool {
+		ca, cb := g.Coord(order[a]), g.Coord(order[b])
+		if byX {
+			if ca.X != cb.X {
+				return ca.X < cb.X
+			}
+			return ca.Y < cb.Y
+		}
+		if ca.Y != cb.Y {
+			return ca.Y < cb.Y
+		}
+		return ca.X < cb.X
+	})
+	return order
+}
+
+// bfsOrder sorts nodes by BFS level from a pseudo-peripheral node of the
+// induced subgraph, breaking ties by node id. Unreachable nodes (the induced
+// subgraph may be disconnected) sort last.
+func bfsOrder(g *graph.Graph, nodes []int) []int {
+	sub, orig := g.InducedSubgraph(nodes)
+	root := sub.PseudoPeripheral(0)
+	level := sub.BFS(root)
+	order := make([]int, len(nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		la, lb := level[order[a]], level[order[b]]
+		if la == -1 {
+			la = int(^uint(0) >> 1) // unreachable: +inf
+		}
+		if lb == -1 {
+			lb = int(^uint(0) >> 1)
+		}
+		if la != lb {
+			return la < lb
+		}
+		return orig[order[a]] < orig[order[b]]
+	})
+	out := make([]int, len(order))
+	for i, idx := range order {
+		out[i] = orig[idx]
+	}
+	return out
+}

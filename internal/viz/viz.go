@@ -1,0 +1,142 @@
+// Package viz renders geometric graphs and their partitions as SVG, so
+// partition quality is inspectable by eye: nodes are colored by part, cut
+// edges drawn emphasized. Stdlib only; output is deterministic for a given
+// graph and partition.
+package viz
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// palette holds visually distinct part colors (repeats past 16 parts).
+var palette = []string{
+	"#1f77b4", "#ff7f0e", "#2ca02c", "#d62728",
+	"#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
+	"#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+	"#98df8a", "#ff9896", "#c5b0d5", "#c49c94",
+}
+
+// Options controls rendering.
+type Options struct {
+	Width, Height int     // canvas size in px; default 800x800
+	NodeRadius    float64 // default scaled by node count
+	ShowCutEdges  bool    // draw cut edges in red (default styling: thin grey)
+}
+
+func (o *Options) withDefaults(n int) Options {
+	out := *o
+	if out.Width == 0 {
+		out.Width = 800
+	}
+	if out.Height == 0 {
+		out.Height = 800
+	}
+	if out.NodeRadius == 0 {
+		out.NodeRadius = 10.0 / (1 + float64(n)/150)
+		if out.NodeRadius < 2 {
+			out.NodeRadius = 2
+		}
+	}
+	return out
+}
+
+// WriteSVG renders g with partition p (nil p renders an uncolored graph) to
+// w. The graph must carry coordinates.
+func WriteSVG(w io.Writer, g *graph.Graph, p *partition.Partition, opts Options) error {
+	if !g.HasCoords() {
+		return fmt.Errorf("viz: graph has no coordinates")
+	}
+	if p != nil {
+		if err := p.Validate(g); err != nil {
+			return fmt.Errorf("viz: %w", err)
+		}
+	}
+	n := g.NumNodes()
+	o := opts.withDefaults(n)
+
+	// Map coordinates to the canvas with a margin.
+	const margin = 20.0
+	minX, minY := 0.0, 0.0
+	maxX, maxY := 1.0, 1.0
+	if n > 0 {
+		c0 := g.Coord(0)
+		minX, maxX, minY, maxY = c0.X, c0.X, c0.Y, c0.Y
+		for v := 1; v < n; v++ {
+			c := g.Coord(v)
+			if c.X < minX {
+				minX = c.X
+			}
+			if c.X > maxX {
+				maxX = c.X
+			}
+			if c.Y < minY {
+				minY = c.Y
+			}
+			if c.Y > maxY {
+				maxY = c.Y
+			}
+		}
+	}
+	spanX, spanY := maxX-minX, maxY-minY
+	if spanX == 0 {
+		spanX = 1
+	}
+	if spanY == 0 {
+		spanY = 1
+	}
+	px := func(v int) (float64, float64) {
+		c := g.Coord(v)
+		x := margin + (c.X-minX)/spanX*(float64(o.Width)-2*margin)
+		y := margin + (c.Y-minY)/spanY*(float64(o.Height)-2*margin)
+		return x, y
+	}
+
+	var err error
+	emit := func(format string, args ...interface{}) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	emit(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		o.Width, o.Height, o.Width, o.Height)
+	emit(`<rect width="100%%" height="100%%" fill="white"/>` + "\n")
+
+	// Edges first (under the nodes): internal thin grey, cut red if asked.
+	g.Edges(func(u, v int, wt float64) bool {
+		x1, y1 := px(u)
+		x2, y2 := px(v)
+		style := `stroke="#cccccc" stroke-width="0.7"`
+		if p != nil && p.Assign[u] != p.Assign[v] {
+			if o.ShowCutEdges {
+				style = `stroke="#d62728" stroke-width="1.4"`
+			} else {
+				style = `stroke="#999999" stroke-width="0.7" stroke-dasharray="3,2"`
+			}
+		}
+		emit(`<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" %s/>`+"\n", x1, y1, x2, y2, style)
+		return err == nil
+	})
+	if err != nil {
+		return err
+	}
+	for v := 0; v < n; v++ {
+		x, y := px(v)
+		fill := "#444444"
+		if p != nil {
+			fill = palette[int(p.Assign[v])%len(palette)]
+		}
+		emit(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="black" stroke-width="0.4"/>`+"\n",
+			x, y, o.NodeRadius, fill)
+	}
+	// Legend with part sizes and cut.
+	if p != nil {
+		emit(`<text x="%d" y="14" font-family="monospace" font-size="12">parts=%d cut=%.0f worst=%.0f</text>`+"\n",
+			8, p.Parts, p.CutSize(g), p.MaxPartCut(g))
+	}
+	emit("</svg>\n")
+	return err
+}

@@ -1,0 +1,107 @@
+package viz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestWriteSVGBasics(t *testing.T) {
+	g := gen.Mesh(40, 1)
+	rng := rand.New(rand.NewSource(1))
+	p := partition.RandomBalanced(40, 4, rng)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, g, p, Options{ShowCutEdges: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.HasSuffix(strings.TrimSpace(out), "</svg>") {
+		t.Error("not a complete SVG document")
+	}
+	if c := strings.Count(out, "<circle"); c != 40 {
+		t.Errorf("%d circles, want 40", c)
+	}
+	if c := strings.Count(out, "<line"); c != g.NumEdges() {
+		t.Errorf("%d lines, want %d edges", c, g.NumEdges())
+	}
+	// Cut edges present (random partition certainly cuts something) and
+	// rendered in the emphasis color.
+	if !strings.Contains(out, "#d62728") {
+		t.Error("no emphasized cut edges in a random partition")
+	}
+	if !strings.Contains(out, "parts=4") {
+		t.Error("legend missing")
+	}
+}
+
+func TestWriteSVGWithoutPartition(t *testing.T) {
+	g := gen.Mesh(20, 2)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, g, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "parts=") {
+		t.Error("legend rendered without a partition")
+	}
+}
+
+func TestWriteSVGErrors(t *testing.T) {
+	// No coordinates.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 1)
+	var sb strings.Builder
+	if err := WriteSVG(&sb, b.Build(), nil, Options{}); err == nil {
+		t.Error("coordinate-free graph accepted")
+	}
+	// Invalid partition.
+	g := gen.Mesh(10, 3)
+	bad := partition.New(5, 2)
+	if err := WriteSVG(&sb, g, bad, Options{}); err == nil {
+		t.Error("mismatched partition accepted")
+	}
+}
+
+func TestWriteSVGDeterministic(t *testing.T) {
+	g := gen.Mesh(30, 5)
+	rng := rand.New(rand.NewSource(7))
+	p := partition.RandomBalanced(30, 2, rng)
+	var a, b strings.Builder
+	if err := WriteSVG(&a, g, p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSVG(&b, g, p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("same input produced different SVG")
+	}
+}
+
+func TestWriteSVGPropagatesWriteError(t *testing.T) {
+	g := gen.Mesh(30, 8)
+	w := &limitedWriter{limit: 100}
+	if err := WriteSVG(w, g, nil, Options{}); err == nil {
+		t.Error("write error swallowed")
+	}
+}
+
+type limitedWriter struct {
+	limit   int
+	written int
+}
+
+type errFull struct{}
+
+func (errFull) Error() string { return "full" }
+
+func (w *limitedWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.limit {
+		return 0, errFull{}
+	}
+	w.written += len(p)
+	return len(p), nil
+}
