@@ -1,6 +1,6 @@
-// Benchmarks regenerating every table and figure of the paper (DESIGN.md §4
-// maps each to its experiment), plus ablations for the design decisions of
-// DESIGN.md §5 and micro-benchmarks of the hot paths.
+// Benchmarks regenerating every table and figure of the paper (see the
+// experiment index in README.md), plus ablations of the design decisions
+// and micro-benchmarks of the hot paths.
 //
 // Benchmarks run the experiments at reduced budget so "go test -bench=."
 // terminates in minutes; cmd/experiments runs the same code at paper scale.
@@ -102,7 +102,7 @@ func BenchmarkSpeedup(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §5) ---
+// --- Ablations ---
 
 // runEngine is shared by the ablation benchmarks: a fixed-budget DKNUX run
 // on the 144-node mesh, returning the final cut (reported as a metric).

@@ -1,5 +1,5 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation section (see DESIGN.md §4 for the experiment index).
+// evaluation section (see README.md for the experiment index).
 //
 // Usage:
 //
@@ -31,6 +31,7 @@ func main() {
 		outPath = flag.String("o", "", "also write the report to this file")
 		runs    = flag.Int("runs", 0, "override run count")
 		gens    = flag.Int("gens", 0, "override generations")
+		workers = flag.Int("evalworkers", 0, "parallel fitness-evaluation goroutines per engine (0 = auto; results are identical for any value)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,9 @@ func main() {
 	}
 	if *gens > 0 {
 		opt.Generations = *gens
+	}
+	if *workers > 0 {
+		opt.EvalWorkers = *workers
 	}
 
 	var out io.Writer = os.Stdout

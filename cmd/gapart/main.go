@@ -47,6 +47,7 @@ func main() {
 		gens      = flag.Int("gens", 200, "GA generations")
 		pop       = flag.Int("pop", 320, "GA total population")
 		islands   = flag.Int("islands", 16, "GA subpopulations (1 = single population)")
+		workers   = flag.Int("evalworkers", 0, "parallel fitness-evaluation goroutines per engine (0 = auto; results are identical for any value)")
 		seed      = flag.Int64("seed", 1994, "random seed")
 		outPath   = flag.String("out", "", "write the partition as 'node part' lines to this file")
 		svgPath   = flag.String("svg", "", "render the partitioned graph as SVG to this file")
@@ -64,7 +65,7 @@ func main() {
 		fatal(fmt.Errorf("unknown objective %q", *objective))
 	}
 
-	p, err := run(g, *algo, *parts, obj, *gens, *pop, *islands, *seed)
+	p, err := run(g, *algo, *parts, obj, *gens, *pop, *islands, *workers, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -117,7 +118,7 @@ func loadGraph(path string, meshN int) (*graph.Graph, error) {
 }
 
 func run(g *graph.Graph, algo string, parts int, obj partition.Objective,
-	gens, pop, islands int, seed int64) (*partition.Partition, error) {
+	gens, pop, islands, workers int, seed int64) (*partition.Partition, error) {
 
 	rng := rand.New(rand.NewSource(seed))
 	switch algo {
@@ -157,14 +158,14 @@ func run(g *graph.Graph, algo string, parts int, obj partition.Objective,
 				return spectral.Partition(cg, cp, r)
 			})
 	case "dknux", "knux", "ux", "2pt":
-		return runGA(g, algo, parts, obj, gens, pop, islands, seed)
+		return runGA(g, algo, parts, obj, gens, pop, islands, workers, seed)
 	default:
 		return nil, fmt.Errorf("unknown algorithm %q", algo)
 	}
 }
 
 func runGA(g *graph.Graph, algo string, parts int, obj partition.Objective,
-	gens, pop, islands int, seed int64) (*partition.Partition, error) {
+	gens, pop, islands, workers int, seed int64) (*partition.Partition, error) {
 
 	// Seed the population with IBP when coordinates exist (the paper's
 	// recommended practice), otherwise start random.
@@ -193,11 +194,12 @@ func runGA(g *graph.Graph, algo string, parts int, obj partition.Objective,
 		}
 	}
 	base := ga.Config{
-		Parts:     parts,
-		Objective: obj,
-		PopSize:   pop,
-		Seeds:     seeds,
-		Seed:      seed,
+		Parts:       parts,
+		Objective:   obj,
+		PopSize:     pop,
+		Seeds:       seeds,
+		EvalWorkers: workers,
+		Seed:        seed,
 	}
 	if islands <= 1 {
 		base.Crossover = mkOp(0)

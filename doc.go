@@ -29,8 +29,9 @@
 //   - internal/bench       regenerates every table and figure of the paper
 //   - internal/paperdata   the paper's published numbers, for comparisons
 //
-// See README.md for a tour, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+// See README.md for a tour, quickstart, and bench instructions, and
+// CHANGES.md for the per-PR history. cmd/experiments -compare prints
+// paper-vs-measured results.
 // The benchmarks in bench_test.go regenerate each table/figure via
 // "go test -bench=."; cmd/experiments does the same at paper scale.
 package repro

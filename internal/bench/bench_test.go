@@ -8,6 +8,16 @@ import (
 	"repro/internal/partition"
 )
 
+// skipIfShort gates the paper-table regenerations — the heavy tests of this
+// suite, each a full multi-run DPGA experiment — so `go test -short ./...`
+// finishes in seconds while the full run still exercises every table.
+func skipIfShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("paper-table regeneration skipped in -short mode")
+	}
+}
+
 // tinyOptions keeps integration tests fast while exercising every code path.
 func tinyOptions() Options {
 	return Options{
@@ -20,6 +30,7 @@ func tinyOptions() Options {
 }
 
 func TestTable1Shape(t *testing.T) {
+	skipIfShort(t)
 	tb := Table1(tinyOptions())
 	if tb.ID != "Table 1" {
 		t.Errorf("ID = %q", tb.ID)
@@ -45,6 +56,7 @@ func TestTable1Shape(t *testing.T) {
 }
 
 func TestCutsGrowWithParts(t *testing.T) {
+	skipIfShort(t)
 	// Structural sanity shared by the paper's tables: more parts means more
 	// cut edges, for both methods.
 	tb := Table1(tinyOptions())
@@ -61,6 +73,7 @@ func TestCutsGrowWithParts(t *testing.T) {
 }
 
 func TestTable2DKNUXNeverWorseThanItsSeed(t *testing.T) {
+	skipIfShort(t)
 	// Table 2 seeds the GA with the RSB partition, so the GA's total cut
 	// can exceed RSB's only if it trades cut for balance — with RSB already
 	// balanced, the GA best must have fitness >= the seed. We assert the
@@ -78,6 +91,7 @@ func TestTable2DKNUXNeverWorseThanItsSeed(t *testing.T) {
 }
 
 func TestTable3IncludesMajorityNeighborRow(t *testing.T) {
+	skipIfShort(t)
 	tb := Table3(tinyOptions())
 	if len(tb.Groups) != 4 {
 		t.Fatalf("groups = %d", len(tb.Groups))
@@ -116,6 +130,7 @@ func TestIncrementalGADominatesDeterministicInFitness(t *testing.T) {
 }
 
 func TestTable4Shape(t *testing.T) {
+	skipIfShort(t)
 	tb := Table4(tinyOptions())
 	if len(tb.Groups) != 5 || len(tb.Parts) != 2 {
 		t.Fatalf("table 4 shape: %d groups, %d parts", len(tb.Groups), len(tb.Parts))
@@ -132,6 +147,7 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestTable5And6Shapes(t *testing.T) {
+	skipIfShort(t)
 	t5 := Table5(tinyOptions())
 	if len(t5.Groups) != 7 {
 		t.Errorf("table 5 groups = %d, want 7", len(t5.Groups))
@@ -143,6 +159,7 @@ func TestTable5And6Shapes(t *testing.T) {
 }
 
 func TestTableFormat(t *testing.T) {
+	skipIfShort(t)
 	tb := Table1(tinyOptions())
 	out := tb.Format()
 	for _, want := range []string{"Table 1", "Number of Parts", "167 Nodes", "Cut Using DKNUX", "Cut Using RSB"} {

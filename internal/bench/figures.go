@@ -67,10 +67,11 @@ func Convergence(opt Options) Figure {
 		var runs [][]float64
 		for r := 0; r < opt.Runs; r++ {
 			e, err := ga.New(g, ga.Config{
-				Parts:     parts,
-				PopSize:   pop,
-				Crossover: op.mk(),
-				Seed:      opt.Seed + int64(r)*31,
+				Parts:       parts,
+				PopSize:     pop,
+				Crossover:   op.mk(),
+				EvalWorkers: opt.EvalWorkers,
+				Seed:        opt.Seed + int64(r)*31,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("bench: %v", err))
@@ -124,11 +125,12 @@ func Speedup(opt Options) Figure {
 		var cut float64
 		if islands == 1 {
 			e, err := ga.New(g, ga.Config{
-				Parts:     parts,
-				PopSize:   opt.TotalPop,
-				Seeds:     seeds,
-				Crossover: ga.NewDKNUX(ibpSeed),
-				Seed:      opt.Seed,
+				Parts:       parts,
+				PopSize:     opt.TotalPop,
+				Seeds:       seeds,
+				Crossover:   ga.NewDKNUX(ibpSeed),
+				EvalWorkers: opt.EvalWorkers,
+				Seed:        opt.Seed,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("bench: %v", err))
@@ -137,10 +139,11 @@ func Speedup(opt Options) Figure {
 		} else {
 			m, err := dpga.New(g, dpga.Config{
 				Base: ga.Config{
-					Parts:   parts,
-					PopSize: opt.TotalPop,
-					Seeds:   seeds,
-					Seed:    opt.Seed,
+					Parts:       parts,
+					PopSize:     opt.TotalPop,
+					Seeds:       seeds,
+					EvalWorkers: opt.EvalWorkers,
+					Seed:        opt.Seed,
 				},
 				Islands:  islands,
 				Parallel: true,
@@ -201,11 +204,12 @@ func IncrementalConvergence(opt Options) Figure {
 				est = seeds[0]
 			}
 			e, err := ga.New(grown, ga.Config{
-				Parts:     parts,
-				PopSize:   opt.TotalPop,
-				Seeds:     seeds,
-				Crossover: ga.NewDKNUX(est),
-				Seed:      opt.Seed + int64(r)*29,
+				Parts:       parts,
+				PopSize:     opt.TotalPop,
+				Seeds:       seeds,
+				Crossover:   ga.NewDKNUX(est),
+				EvalWorkers: opt.EvalWorkers,
+				Seed:        opt.Seed + int64(r)*29,
 			})
 			if err != nil {
 				panic(fmt.Sprintf("bench: %v", err))

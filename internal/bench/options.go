@@ -1,6 +1,6 @@
 // Package bench is the experiment harness: it regenerates every table and
 // figure of the paper's evaluation section from the deterministic mesh
-// suite (see DESIGN.md §4 for the experiment index).
+// suite (see README.md for the experiment index).
 //
 // The paper's tables report the best of 5 runs; figures average 5 runs.
 // Options controls run count, GA budget, and population layout so the same
@@ -17,6 +17,7 @@ type Options struct {
 	TotalPop    int  // total population across islands
 	Islands     int  // subpopulations (1 = single population)
 	HillClimb   bool // boundary hill climbing on offspring
+	EvalWorkers int  // parallel fitness evaluation width per engine (0 = auto)
 	Seed        int64
 }
 

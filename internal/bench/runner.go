@@ -34,12 +34,13 @@ func runOnce(g *graph.Graph, parts int, obj partition.Objective,
 	seeds []*partition.Partition, opt Options, runSeed int64) *partition.Partition {
 
 	base := ga.Config{
-		Parts:     parts,
-		Objective: obj,
-		PopSize:   opt.TotalPop,
-		Seeds:     seeds,
-		HillClimb: opt.HillClimb,
-		Seed:      runSeed,
+		Parts:       parts,
+		Objective:   obj,
+		PopSize:     opt.TotalPop,
+		Seeds:       seeds,
+		HillClimb:   opt.HillClimb,
+		EvalWorkers: opt.EvalWorkers,
+		Seed:        runSeed,
 	}
 	estimate := func(island int) *partition.Partition {
 		if len(seeds) > 0 {

@@ -20,12 +20,13 @@ func ParamSweep(opt Options) Figure {
 
 	run := func(pc, pm float64, seed int64) float64 {
 		e, err := ga.New(g, ga.Config{
-			Parts:     parts,
-			PopSize:   opt.TotalPop,
-			Pc:        pc,
-			Pm:        pm,
-			Crossover: ga.NewDKNUX(ibpSeed),
-			Seed:      seed,
+			Parts:       parts,
+			PopSize:     opt.TotalPop,
+			Pc:          pc,
+			Pm:          pm,
+			Crossover:   ga.NewDKNUX(ibpSeed),
+			EvalWorkers: opt.EvalWorkers,
+			Seed:        seed,
 		})
 		if err != nil {
 			panic(fmt.Sprintf("bench: %v", err))

@@ -110,7 +110,7 @@ func incrementalSeeds(base, grown *graph.Graph, parts int, opt Options, caseSeed
 // incremental extensions): boundary hill climbing (§3.6) is enabled with a
 // proportionally reduced generation budget. Without it the plain GA does
 // not reach the paper's quality at comparable budgets; with it the paper's
-// shape reproduces. See DESIGN.md §5 and EXPERIMENTS.md.
+// shape reproduces.
 func withHillClimb(opt Options) Options {
 	if !opt.HillClimb {
 		opt.HillClimb = true
@@ -163,7 +163,7 @@ func Table3(opt Options) Table {
 // a proportionally reduced generation budget): starting from random
 // populations, the plain GA does not reach the paper's quality at
 // comparable budgets, while GA+hill-climbing reproduces the paper's shape —
-// DKNUX at or below RSB's worst cut on most graphs. See EXPERIMENTS.md.
+// DKNUX at or below RSB's worst cut on most graphs.
 func Table4(opt Options) Table {
 	opt = withHillClimb(opt)
 	t := Table{

@@ -28,8 +28,13 @@ type AsyncModel struct {
 }
 
 // NewAsync validates cfg and builds the islands (same configuration rules
-// as New).
+// as New). Async islands always run concurrently, so an unset
+// Base.EvalWorkers defaults to one evaluation worker per island, exactly as
+// in the Parallel synchronous model.
 func NewAsync(g *graph.Graph, cfg Config) (*AsyncModel, error) {
+	if cfg.Base.EvalWorkers == 0 {
+		cfg.Base.EvalWorkers = 1
+	}
 	m, err := New(g, cfg)
 	if err != nil {
 		return nil, err

@@ -127,6 +127,14 @@ type Config struct {
 	// Parallel runs one goroutine per island between migration barriers.
 	// Results are identical to the sequential mode; this only changes
 	// wall-clock time on multicore hosts.
+	//
+	// Base.EvalWorkers composes with this knob: each island engine
+	// evaluates its offspring on its own worker pool. When Parallel is set
+	// and Base.EvalWorkers is 0, islands default to one evaluation worker
+	// each (the islands themselves already saturate the cores); in the
+	// sequential mode the 0 default resolves to all cores inside each
+	// island, so a sequential model still evaluates in parallel. Every
+	// combination produces bit-identical results.
 	Parallel bool
 
 	// CrossoverFactory builds a per-island crossover operator. Required
@@ -178,6 +186,11 @@ func New(g *graph.Graph, cfg Config) (*Model, error) {
 	for i := 0; i < cfg.Islands; i++ {
 		ic := cfg.Base
 		ic.PopSize = per
+		if ic.EvalWorkers == 0 && cfg.Parallel {
+			// Concurrent islands already fill the machine; avoid spawning
+			// Islands × GOMAXPROCS evaluation workers.
+			ic.EvalWorkers = 1
+		}
 		// Derive independent island seeds; avoid correlated streams.
 		ic.Seed = rand.New(rand.NewSource(cfg.Base.Seed + int64(i)*7919)).Int63()
 		if cfg.CrossoverFactory != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/graph"
 	"repro/internal/kl"
@@ -46,6 +47,16 @@ type Config struct {
 	// BenchmarkAblationReplacement compares the two.
 	SteadyState bool
 
+	// EvalWorkers sets how many goroutines evaluate offspring fitness (and
+	// run optional hill climbing) concurrently during the evaluate phase of
+	// each generation. Values <= 0 select runtime.GOMAXPROCS(0); 1 is the
+	// fully serial path. Evaluation is pure — only the serial breed phase
+	// consumes the RNG — so results are bit-identical for every worker
+	// count. SteadyState replacement is inherently sequential (each
+	// offspring's selection sees the previous replacement) and ignores this
+	// knob.
+	EvalWorkers int
+
 	Seed int64 // RNG seed; runs with equal Config are bit-reproducible
 }
 
@@ -68,6 +79,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.SeedPerturb == 0 {
 		out.SeedPerturb = 0.15
+	}
+	if out.EvalWorkers <= 0 {
+		out.EvalWorkers = runtime.GOMAXPROCS(0)
 	}
 	return out
 }
@@ -97,6 +111,10 @@ type Engine struct {
 	// crossover operator; the estimate is replaced only by strictly fitter
 	// bests, so a good heuristic seed is never displaced by a weaker one.
 	estFitness float64
+
+	// pool is the persistent evaluation worker pool (nil when EvalWorkers
+	// resolves to 1: the serial path spawns nothing).
+	pool *evalPool
 
 	stats Stats
 }
@@ -133,6 +151,12 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		rng:        rand.New(rand.NewSource(c.Seed)),
 		estFitness: math.Inf(-1),
 	}
+	if c.EvalWorkers > 1 {
+		e.pool = newEvalPool(c.EvalWorkers)
+		// Engines are not required to be Closed: when one is garbage
+		// collected with its pool still running, release the helpers.
+		runtime.AddCleanup(e, (*evalPool).shutdown, e.pool)
+	}
 	if prov, ok := c.Crossover.(EstimateProvider); ok {
 		if est := prov.Estimate(); est != nil && len(est.Assign) == g.NumNodes() && est.Parts == c.Parts {
 			e.estFitness = est.Fitness(g, c.Objective)
@@ -146,12 +170,14 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 func (e *Engine) initPopulation() {
 	n := e.g.NumNodes()
 	c := e.cfg
+	// Construction consumes the RNG and stays serial; the initial fitness
+	// evaluation is pure and runs on the worker pool.
 	e.pop = make([]*Individual, 0, c.PopSize)
 	for _, s := range c.Seeds {
 		if len(e.pop) == c.PopSize {
 			break
 		}
-		e.pop = append(e.pop, NewIndividual(e.g, s.Clone(), c.Objective))
+		e.pop = append(e.pop, &Individual{Part: s.Clone()})
 	}
 	for len(e.pop) < c.PopSize {
 		var p *partition.Partition
@@ -160,8 +186,9 @@ func (e *Engine) initPopulation() {
 		} else {
 			p = partition.RandomBalanced(n, c.Parts, e.rng)
 		}
-		e.pop = append(e.pop, NewIndividual(e.g, p, c.Objective))
+		e.pop = append(e.pop, &Individual{Part: p})
 	}
+	e.evaluate(e.pop, false)
 	e.best = e.fittest().Clone()
 	e.updateEstimate()
 }
@@ -191,17 +218,24 @@ func (e *Engine) record() {
 	e.stats.BestCut = append(e.stats.BestCut, e.best.Part.CutSize(e.g))
 	e.stats.BestMaxCut = append(e.stats.BestMaxCut, e.best.Part.MaxPartCut(e.g))
 
-	var meanFit, disagree float64
+	// The O(popsize × n) disagreement scan runs on the evaluation workers.
+	// Per-individual counts are integers, so the parallel map plus in-order
+	// reduce below is exact for every worker count.
 	ref := e.fittest().Part.Assign
-	for _, ind := range e.pop {
-		meanFit += ind.Fitness
+	counts := make([]int, len(e.pop))
+	e.forEach(len(e.pop), func(i int) {
 		d := 0
-		for i, q := range ind.Part.Assign {
-			if q != ref[i] {
+		for j, q := range e.pop[i].Part.Assign {
+			if q != ref[j] {
 				d++
 			}
 		}
-		disagree += float64(d)
+		counts[i] = d
+	})
+	var meanFit, disagree float64
+	for i, ind := range e.pop {
+		meanFit += ind.Fitness
+		disagree += float64(counts[i])
 	}
 	n := float64(len(e.pop))
 	e.stats.MeanFitness = append(e.stats.MeanFitness, meanFit/n)
@@ -212,9 +246,11 @@ func (e *Engine) record() {
 	e.stats.Diversity = append(e.stats.Diversity, disagree/(n*genes))
 }
 
-// Step advances one generation: elitism, selection, crossover, mutation,
-// optional hill climbing, replacement (generational or steady-state per
-// Config.SteadyState).
+// Step advances one generation: elitism, then a strictly serial breed phase
+// (selection, crossover, mutation — everything that consumes the RNG),
+// then a parallel evaluate phase (optional hill climbing and fitness, pure
+// per-individual work spread over Config.EvalWorkers), then replacement
+// (generational or steady-state per Config.SteadyState).
 func (e *Engine) Step() {
 	if e.cfg.SteadyState {
 		e.stepSteadyState()
@@ -229,27 +265,17 @@ func (e *Engine) Step() {
 		next = append(next, e.pop[i].Clone())
 	}
 
-	for len(next) < c.PopSize {
-		i := c.Selection.Pick(e.pop, e.rng)
-		j := c.Selection.Pick(e.pop, e.rng)
-		a, b := e.pop[i], e.pop[j]
-		var child *partition.Partition
-		if e.rng.Float64() < c.Pc {
-			child = c.Crossover.Cross(e.g, a, b, e.rng)
-		} else {
-			// No crossover: clone the fitter parent.
-			if b.Fitness > a.Fitness {
-				a = b
-			}
-			child = a.Part.Clone()
-		}
-		e.mutate(child)
-		if c.HillClimb {
-			kl.HillClimb(e.g, child, c.Objective, 1)
-		}
-		next = append(next, NewIndividual(e.g, child, c.Objective))
+	// Breed phase: serial on the single rand.Rand, which defines the
+	// bit-reproducible stream.
+	offspring := make([]*Individual, 0, c.PopSize-len(next))
+	for len(next)+len(offspring) < c.PopSize {
+		offspring = append(offspring, e.breedOne())
 	}
-	e.pop = next
+
+	// Evaluate phase: pure, parallel across the worker pool.
+	e.evaluate(offspring, c.HillClimb)
+
+	e.pop = append(next, offspring...)
 	e.gen++
 
 	if f := e.fittest(); f.Fitness > e.best.Fitness {
@@ -259,29 +285,70 @@ func (e *Engine) Step() {
 	e.record()
 }
 
+// breedOne produces one unevaluated offspring: selection, crossover or
+// fitter-parent cloning, then mutation. Cloned offspring inherit their
+// parent's cached aggregates, which mutation updates incrementally;
+// crossover offspring are evaluated from scratch in the evaluate phase.
+func (e *Engine) breedOne() *Individual {
+	c := e.cfg
+	i := c.Selection.Pick(e.pop, e.rng)
+	j := c.Selection.Pick(e.pop, e.rng)
+	a, b := e.pop[i], e.pop[j]
+	var ind *Individual
+	if e.rng.Float64() < c.Pc {
+		ind = &Individual{Part: c.Crossover.Cross(e.g, a, b, e.rng)}
+	} else {
+		// No crossover: clone the fitter parent.
+		if b.Fitness > a.Fitness {
+			a = b
+		}
+		ind = a.Clone()
+	}
+	e.mutate(ind)
+	return ind
+}
+
+// finish completes one offspring: builds the cached aggregates if the breed
+// phase didn't leave any, applies one boundary hill-climbing pass if asked,
+// and recomputes fitness from the (delta-updated) aggregates. finish is
+// pure with respect to the engine: it touches only ind, so any number of
+// finishes may run concurrently.
+func (e *Engine) finish(ind *Individual, hillClimb bool) {
+	if ind.ev == nil {
+		ind.ev = partition.NewEval(e.g, ind.Part)
+	}
+	if hillClimb {
+		kl.HillClimbEval(e.g, ind.Part, e.cfg.Objective, 1, ind.ev)
+	}
+	ind.Fitness = ind.ev.Fitness(e.g, e.cfg.Objective)
+}
+
+// evaluate finishes a batch of offspring on the worker pool.
+func (e *Engine) evaluate(batch []*Individual, hillClimb bool) {
+	e.forEach(len(batch), func(i int) { e.finish(batch[i], hillClimb) })
+}
+
+// forEach runs fn(i) for i in [0, n), on the pool when one exists.
+func (e *Engine) forEach(n int, fn func(int)) {
+	if e.pool == nil {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	e.pool.run(n, fn)
+}
+
 // stepSteadyState produces PopSize offspring, each immediately replacing
 // the worst individual when fitter. Elitism is implicit: the best
-// individuals are never the worst, so they survive.
+// individuals are never the worst, so they survive. Breeding and evaluation
+// cannot be split into phases here — each offspring's selection observes the
+// previous offspring's replacement — so this path is serial by construction.
 func (e *Engine) stepSteadyState() {
 	c := e.cfg
 	for k := 0; k < c.PopSize; k++ {
-		i := c.Selection.Pick(e.pop, e.rng)
-		j := c.Selection.Pick(e.pop, e.rng)
-		a, b := e.pop[i], e.pop[j]
-		var child *partition.Partition
-		if e.rng.Float64() < c.Pc {
-			child = c.Crossover.Cross(e.g, a, b, e.rng)
-		} else {
-			if b.Fitness > a.Fitness {
-				a = b
-			}
-			child = a.Part.Clone()
-		}
-		e.mutate(child)
-		if c.HillClimb {
-			kl.HillClimb(e.g, child, c.Objective, 1)
-		}
-		ind := NewIndividual(e.g, child, c.Objective)
+		ind := e.breedOne()
+		e.finish(ind, c.HillClimb)
 		worst := 0
 		for w := range e.pop {
 			if e.pop[w].Fitness < e.pop[worst].Fitness {
@@ -323,10 +390,19 @@ func (e *Engine) eliteIndices() []int {
 	return idx
 }
 
-func (e *Engine) mutate(p *partition.Partition) {
+// mutate flips each gene with probability Pm. When the individual carries
+// cached aggregates (cloned offspring), each flip is applied as an O(deg)
+// delta update so fitness needs no rescan.
+func (e *Engine) mutate(ind *Individual) {
+	p := ind.Part
 	for i := range p.Assign {
 		if e.rng.Float64() < e.cfg.Pm {
-			p.Assign[i] = uint16(e.rng.Intn(p.Parts))
+			to := e.rng.Intn(p.Parts)
+			if ind.ev != nil {
+				ind.ev.Move(e.g, p, i, to)
+			} else {
+				p.Assign[i] = uint16(to)
+			}
 		}
 	}
 }
@@ -342,6 +418,15 @@ func (e *Engine) Run(generations int) *Individual {
 
 // Best returns a clone of the best individual found so far.
 func (e *Engine) Best() *Individual { return e.best.Clone() }
+
+// Close releases the evaluation worker pool. Calling it is optional — an
+// engine that is garbage collected releases its workers automatically — and
+// idempotent; the engine must not Step again afterwards.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.shutdown()
+	}
+}
 
 // Generation returns the number of Step calls so far.
 func (e *Engine) Generation() int { return e.gen }

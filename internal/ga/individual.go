@@ -12,19 +12,30 @@ import (
 )
 
 // Individual is one member of the population: a candidate partition plus its
-// cached fitness. Fitness is always kept in sync with Part by the engine;
-// operators that modify Part must re-evaluate.
+// cached fitness and per-part aggregates. Fitness is always kept in sync
+// with Part by the engine; operators that modify Part must re-evaluate.
 type Individual struct {
 	Part    *partition.Partition
 	Fitness float64
+
+	// ev caches the part weights and part cuts backing Fitness, so mutation
+	// and hill climbing update fitness incrementally instead of rescanning
+	// the graph. nil means "not evaluated yet" (a freshly bred crossover
+	// child between the breed and evaluate phases of Engine.Step).
+	ev *partition.Eval
 }
 
 // NewIndividual evaluates p against g under objective o and wraps it.
 func NewIndividual(g *graph.Graph, p *partition.Partition, o partition.Objective) *Individual {
-	return &Individual{Part: p, Fitness: p.Fitness(g, o)}
+	ev := partition.NewEval(g, p)
+	return &Individual{Part: p, Fitness: ev.Fitness(g, o), ev: ev}
 }
 
-// Clone deep-copies the individual.
+// Clone deep-copies the individual, including its cached aggregates.
 func (ind *Individual) Clone() *Individual {
-	return &Individual{Part: ind.Part.Clone(), Fitness: ind.Fitness}
+	c := &Individual{Part: ind.Part.Clone(), Fitness: ind.Fitness}
+	if ind.ev != nil {
+		c.ev = ind.ev.Clone()
+	}
+	return c
 }

@@ -1,0 +1,76 @@
+package ga
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// evalPool is the engine's persistent fitness-evaluation worker pool: a set
+// of goroutines that stays alive across Step calls and splits independent
+// per-individual work (fitness scans, hill climbing, diversity counts)
+// across EvalWorkers CPUs.
+//
+// The pool runs workers-1 helper goroutines; the calling goroutine always
+// participates, so a pool of 1 is exactly the serial path. Work items are
+// claimed from an atomic counter, which makes the schedule irrelevant to the
+// result: every item is computed by a pure function writing only to its own
+// index.
+type evalPool struct {
+	helpers int
+	work    chan *poolBatch
+	close   sync.Once
+}
+
+// poolBatch is one parallel for-loop: fn(i) for i in [0, n).
+type poolBatch struct {
+	n    int
+	next atomic.Int64
+	fn   func(int)
+	wg   sync.WaitGroup
+}
+
+func (b *poolBatch) drain() {
+	for {
+		i := int(b.next.Add(1)) - 1
+		if i >= b.n {
+			return
+		}
+		b.fn(i)
+	}
+}
+
+// newEvalPool starts a pool for the given worker count (>= 2; worker count 1
+// should not construct a pool at all).
+func newEvalPool(workers int) *evalPool {
+	p := &evalPool{helpers: workers - 1, work: make(chan *poolBatch)}
+	for w := 0; w < p.helpers; w++ {
+		go func() {
+			for b := range p.work {
+				b.drain()
+				b.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn(i) for every i in [0, n), distributed over the pool plus
+// the calling goroutine, and returns when all calls have completed.
+func (p *evalPool) run(n int, fn func(int)) {
+	if n == 0 {
+		return
+	}
+	b := &poolBatch{n: n, fn: fn}
+	b.wg.Add(p.helpers)
+	for w := 0; w < p.helpers; w++ {
+		p.work <- b
+	}
+	b.drain()
+	b.wg.Wait()
+}
+
+// shutdown releases the helper goroutines. Idempotent; called by
+// Engine.Close and by the engine's GC cleanup.
+func (p *evalPool) shutdown() {
+	p.close.Do(func() { close(p.work) })
+}

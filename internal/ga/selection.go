@@ -8,7 +8,7 @@ import (
 
 // Selection picks a parent index from the population. The paper does not
 // specify its selection scheme; binary tournament is the default (see
-// DESIGN.md §5), with roulette and rank available for the ablation bench.
+// BenchmarkAblationSelection), with roulette and rank for the ablations.
 type Selection interface {
 	// Name identifies the scheme in reports.
 	Name() string

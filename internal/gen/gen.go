@@ -2,7 +2,7 @@
 //
 // The paper evaluated on unstructured 2-D computational meshes of 78–309
 // nodes that were never published. We substitute deterministic Delaunay
-// triangulations of random points at the same node counts (see DESIGN.md §2),
+// triangulations of random points at the same node counts,
 // plus structured grids and random geometric graphs for unit tests and
 // ablations. All generators take an explicit seed and are reproducible.
 package gen

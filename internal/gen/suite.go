@@ -10,8 +10,8 @@ import (
 	"repro/internal/graph"
 )
 
-// SuiteSeed is the fixed seed for the benchmark mesh suite. Every table in
-// EXPERIMENTS.md is generated from these graphs, so the seed is part of the
+// SuiteSeed is the fixed seed for the benchmark mesh suite. Every reported
+// experiment is generated from these graphs, so the seed is part of the
 // experiment definition.
 const SuiteSeed = 1994 // year of the paper
 

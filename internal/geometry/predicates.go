@@ -5,7 +5,7 @@
 // The paper evaluates on small unstructured computational meshes (78–309
 // nodes) that were never published. Delaunay triangulations of random point
 // sets are the standard synthetic stand-in: planar, irregular, with the
-// spatial locality that KNUX exploits. See DESIGN.md §2.
+// spatial locality that KNUX exploits.
 package geometry
 
 import "math"

@@ -41,8 +41,13 @@ type Config struct {
 	// partition seed the population; default 8.
 	SeedCopies int
 
-	HillClimb bool  // apply boundary hill climbing to offspring
-	Seed      int64 // RNG seed
+	HillClimb bool // apply boundary hill climbing to offspring
+
+	// EvalWorkers is the per-engine parallel fitness-evaluation width
+	// (see ga.Config.EvalWorkers); 0 lets the engine / island model choose.
+	EvalWorkers int
+
+	Seed int64 // RNG seed
 }
 
 func (c *Config) withDefaults() Config {
@@ -93,12 +98,13 @@ func Repartition(grown *graph.Graph, oldPart *partition.Partition, cfg Config) (
 	}
 
 	base := ga.Config{
-		Parts:     c.Parts,
-		Objective: c.Objective,
-		PopSize:   c.TotalPop,
-		Seeds:     seeds,
-		HillClimb: c.HillClimb,
-		Seed:      c.Seed,
+		Parts:       c.Parts,
+		Objective:   c.Objective,
+		PopSize:     c.TotalPop,
+		Seeds:       seeds,
+		HillClimb:   c.HillClimb,
+		EvalWorkers: c.EvalWorkers,
+		Seed:        c.Seed,
 	}
 	if c.Islands <= 1 {
 		est := seeds[0]

@@ -35,32 +35,23 @@ func TestMoveDeltaMatchesFullEvaluation(t *testing.T) {
 			if math.Abs(got-want) > 1e-9 {
 				t.Fatalf("%v trial %d: delta = %v, full eval = %v", o, trial, got, want)
 			}
-			// Occasionally apply the move through the climber so later
-			// trials exercise updated cached state.
+			// Occasionally apply the move through the climber's cached
+			// state so later trials exercise updated caches.
 			if trial%4 == 0 {
-				_, dF, dT := c.moveDelta(v, to)
-				c.weights[from] -= g.NodeWeight(v)
-				c.weights[to] += g.NodeWeight(v)
-				if c.partCuts != nil {
-					c.partCuts[from] += dF
-					c.partCuts[to] += dT
-				}
-				p.Assign[v] = uint16(to)
+				c.ev.Move(g, p, v, to)
 			}
 		}
 		// Cached state must equal recomputed state at the end.
 		fresh := p.PartWeights(g)
 		for q := range fresh {
-			if math.Abs(fresh[q]-c.weights[q]) > 1e-9 {
-				t.Fatalf("%v: cached weight[%d] = %v, recomputed %v", o, q, c.weights[q], fresh[q])
+			if math.Abs(fresh[q]-c.ev.Weights[q]) > 1e-9 {
+				t.Fatalf("%v: cached weight[%d] = %v, recomputed %v", o, q, c.ev.Weights[q], fresh[q])
 			}
 		}
-		if c.partCuts != nil {
-			cuts := p.PartCuts(g)
-			for q := range cuts {
-				if math.Abs(cuts[q]-c.partCuts[q]) > 1e-9 {
-					t.Fatalf("cached cut[%d] = %v, recomputed %v", q, c.partCuts[q], cuts[q])
-				}
+		cuts := p.PartCuts(g)
+		for q := range cuts {
+			if math.Abs(cuts[q]-c.ev.Cuts[q]) > 1e-9 {
+				t.Fatalf("cached cut[%d] = %v, recomputed %v", q, c.ev.Cuts[q], cuts[q])
 			}
 		}
 	}

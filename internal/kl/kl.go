@@ -22,11 +22,39 @@ import (
 // incrementally in O(deg(v) + parts), not by re-evaluating the fitness, so
 // the GA can afford hill climbing on every offspring.
 func HillClimb(g *graph.Graph, p *partition.Partition, o partition.Objective, maxPasses int) int {
-	c := newClimber(g, p, o)
+	return HillClimbEval(g, p, o, maxPasses, partition.NewEval(g, p))
+}
+
+// HillClimbEval is HillClimb for callers that already hold the partition's
+// cached aggregates (the GA engine keeps one Eval per individual): it skips
+// the O(V+E) setup scan and keeps ev in sync with every move it makes, so
+// the caller can read the final fitness straight from ev.
+func HillClimbEval(g *graph.Graph, p *partition.Partition, o partition.Objective, maxPasses int, ev *partition.Eval) int {
+	c := &climber{
+		g:   g,
+		p:   p,
+		o:   o,
+		ev:  ev,
+		avg: g.TotalNodeWeight() / float64(p.Parts),
+	}
+	return c.climb(maxPasses)
+}
+
+func newClimber(g *graph.Graph, p *partition.Partition, o partition.Objective) *climber {
+	return &climber{
+		g:   g,
+		p:   p,
+		o:   o,
+		ev:  partition.NewEval(g, p),
+		avg: g.TotalNodeWeight() / float64(p.Parts),
+	}
+}
+
+func (c *climber) climb(maxPasses int) int {
 	moves := 0
 	for pass := 0; maxPasses <= 0 || pass < maxPasses; pass++ {
 		improved := false
-		for _, v := range p.BoundaryNodes(g) {
+		for _, v := range c.p.BoundaryNodes(c.g) {
 			if c.tryBestMove(v) {
 				moves++
 				improved = true
@@ -39,29 +67,14 @@ func HillClimb(g *graph.Graph, p *partition.Partition, o partition.Objective, ma
 	return moves
 }
 
-// climber caches the per-part weights and cuts of a partition so single-node
-// move deltas are incremental.
+// climber walks a partition together with its cached per-part weights and
+// cuts (partition.Eval) so single-node move deltas are incremental.
 type climber struct {
-	g        *graph.Graph
-	p        *partition.Partition
-	o        partition.Objective
-	weights  []float64 // node weight per part
-	partCuts []float64 // C(q) per part (WorstCut only)
-	avg      float64
-}
-
-func newClimber(g *graph.Graph, p *partition.Partition, o partition.Objective) *climber {
-	c := &climber{
-		g:       g,
-		p:       p,
-		o:       o,
-		weights: p.PartWeights(g),
-		avg:     g.TotalNodeWeight() / float64(p.Parts),
-	}
-	if o == partition.WorstCut {
-		c.partCuts = p.PartCuts(g)
-	}
-	return c
+	g   *graph.Graph
+	p   *partition.Partition
+	o   partition.Objective
+	ev  *partition.Eval
+	avg float64
 }
 
 // moveDelta returns (fitness delta, C(from) delta, C(to) delta) for moving v
@@ -88,8 +101,8 @@ func (c *climber) moveDelta(v, to int) (fit, dFrom, dTo float64) {
 
 	// Imbalance delta.
 	wv := c.g.NodeWeight(v)
-	before := sq(c.weights[from]-c.avg) + sq(c.weights[to]-c.avg)
-	after := sq(c.weights[from]-wv-c.avg) + sq(c.weights[to]+wv-c.avg)
+	before := sq(c.ev.Weights[from]-c.avg) + sq(c.ev.Weights[to]-c.avg)
+	after := sq(c.ev.Weights[from]-wv-c.avg) + sq(c.ev.Weights[to]+wv-c.avg)
 	imbDelta := after - before
 
 	switch c.o {
@@ -99,7 +112,7 @@ func (c *climber) moveDelta(v, to int) (fit, dFrom, dTo float64) {
 		fit = -(imbDelta + dFrom + dTo)
 	case partition.WorstCut:
 		curMax, newMax := 0.0, 0.0
-		for q, cut := range c.partCuts {
+		for q, cut := range c.ev.Cuts {
 			if cut > curMax {
 				curMax = cut
 			}
@@ -120,22 +133,27 @@ func (c *climber) moveDelta(v, to int) (fit, dFrom, dTo float64) {
 }
 
 // tryBestMove moves v to the neighboring part that most improves fitness, if
-// any strictly does, updating the cached state.
+// any strictly does, updating the cached state. Candidate parts are examined
+// in neighbor order (ties go to the earliest), keeping the climb fully
+// deterministic.
 func (c *climber) tryBestMove(v int) bool {
 	from := int(c.p.Assign[v])
-	cand := map[int]bool{}
-	for _, u := range c.g.Neighbors(v) {
-		q := int(c.p.Assign[u])
-		if q != from {
-			cand[q] = true
-		}
-	}
-	if len(cand) == 0 {
-		return false
-	}
+	var tried [8]int // dedup scratch; spills to append for high-degree nodes
+	cand := tried[:0]
 	bestTo := -1
 	var bestFit, bestDFrom, bestDTo float64
-	for to := range cand {
+scan:
+	for _, u := range c.g.Neighbors(v) {
+		to := int(c.p.Assign[u])
+		if to == from {
+			continue
+		}
+		for _, q := range cand {
+			if q == to {
+				continue scan
+			}
+		}
+		cand = append(cand, to)
 		fit, dF, dT := c.moveDelta(v, to)
 		if fit > 1e-12 && (bestTo < 0 || fit > bestFit) {
 			bestTo, bestFit, bestDFrom, bestDTo = to, fit, dF, dT
@@ -145,12 +163,10 @@ func (c *climber) tryBestMove(v int) bool {
 		return false
 	}
 	wv := c.g.NodeWeight(v)
-	c.weights[from] -= wv
-	c.weights[bestTo] += wv
-	if c.partCuts != nil {
-		c.partCuts[from] += bestDFrom
-		c.partCuts[bestTo] += bestDTo
-	}
+	c.ev.Weights[from] -= wv
+	c.ev.Weights[bestTo] += wv
+	c.ev.Cuts[from] += bestDFrom
+	c.ev.Cuts[bestTo] += bestDTo
 	c.p.Assign[v] = uint16(bestTo)
 	return true
 }

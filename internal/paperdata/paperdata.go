@@ -1,6 +1,6 @@
 // Package paperdata records the numbers published in the paper's Tables 1–6
 // verbatim, so the experiment harness can print measured-vs-paper
-// comparisons and EXPERIMENTS.md can be regenerated mechanically.
+// comparisons mechanically (cmd/experiments -compare).
 //
 // Values are transcribed from the SC'94 paper (revised September 1996
 // SURFACE copy). A value of -1 marks a cell the paper leaves blank (its

@@ -1,0 +1,128 @@
+package partition
+
+import (
+	"repro/internal/graph"
+)
+
+// Eval caches the per-part aggregates of a partition — part weights W(q) and
+// part cuts C(q) — so that single-node reassignments update the fitness in
+// O(deg(v)) instead of rescanning the whole graph. The GA engine keeps one
+// Eval per individual: crossover offspring pay one fused O(V+E) scan, while
+// mutation and boundary hill climbing apply incremental deltas.
+//
+// An Eval is only meaningful together with the partition it was built from
+// (or has tracked through Move calls); callers own keeping the pair in sync.
+type Eval struct {
+	Weights []float64 // W(q): total node weight of part q
+	Cuts    []float64 // C(q): total weight of edges with exactly one endpoint in q
+}
+
+// NewEval scans g once and returns the aggregates of p. The accumulation
+// order matches PartWeights and PartCuts exactly, so the resulting fitness
+// is bit-identical to the scan-based one.
+func NewEval(g *graph.Graph, p *Partition) *Eval {
+	ev := &Eval{
+		Weights: make([]float64, p.Parts),
+		Cuts:    make([]float64, p.Parts),
+	}
+	a := p.Assign
+	for v, q := range a {
+		ev.Weights[q] += g.NodeWeight(v)
+	}
+	for u := 0; u < g.NumNodes(); u++ {
+		nbrs := g.Neighbors(u)
+		ws := g.EdgeWeights(u)
+		for i, v := range nbrs {
+			if int(v) > u && a[u] != a[v] {
+				ev.Cuts[a[u]] += ws[i]
+				ev.Cuts[a[v]] += ws[i]
+			}
+		}
+	}
+	return ev
+}
+
+// Clone deep-copies the aggregates.
+func (ev *Eval) Clone() *Eval {
+	return &Eval{
+		Weights: append([]float64(nil), ev.Weights...),
+		Cuts:    append([]float64(nil), ev.Cuts...),
+	}
+}
+
+// Move reassigns node v of p to part `to`, updating both the partition and
+// the cached aggregates in O(deg(v)). Only C(from) and C(to) change: an edge
+// (v,u) with u in a third part is cut both before and after the move.
+func (ev *Eval) Move(g *graph.Graph, p *Partition, v, to int) {
+	from := int(p.Assign[v])
+	if from == to {
+		return
+	}
+	wv := g.NodeWeight(v)
+	ev.Weights[from] -= wv
+	ev.Weights[to] += wv
+	var wFrom, wTo, wOther float64
+	ws := g.EdgeWeights(v)
+	for i, u := range g.Neighbors(v) {
+		switch int(p.Assign[u]) {
+		case from:
+			wFrom += ws[i]
+		case to:
+			wTo += ws[i]
+		default:
+			wOther += ws[i]
+		}
+	}
+	// Edges into `from` become cut, edges into `to` become internal, edges
+	// into other parts transfer between C(from) and C(to).
+	ev.Cuts[from] += wFrom - wTo - wOther
+	ev.Cuts[to] += wFrom - wTo + wOther
+	p.Assign[v] = uint16(to)
+}
+
+// ImbalanceSq returns Σ_q (W(q) − W/n)² from the cached weights.
+func (ev *Eval) ImbalanceSq(g *graph.Graph) float64 {
+	avg := g.TotalNodeWeight() / float64(len(ev.Weights))
+	var s float64
+	for _, wq := range ev.Weights {
+		d := wq - avg
+		s += d * d
+	}
+	return s
+}
+
+// TotalCutWeight returns Σ_q C(q) (each cut edge counted twice, as in the
+// paper's Fitness 1).
+func (ev *Eval) TotalCutWeight() float64 {
+	var s float64
+	for _, c := range ev.Cuts {
+		s += c
+	}
+	return s
+}
+
+// MaxCut returns max_q C(q), the worst-part cost of Fitness 2.
+func (ev *Eval) MaxCut() float64 {
+	var max float64
+	for _, c := range ev.Cuts {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Fitness evaluates objective o from the cached aggregates. For graphs with
+// integer weights the result is exactly Partition.Fitness; for fractional
+// weights it may differ in the last bits (different but fixed summation
+// order), deterministically for a given move history.
+func (ev *Eval) Fitness(g *graph.Graph, o Objective) float64 {
+	switch o {
+	case TotalCut:
+		return -(ev.ImbalanceSq(g) + ev.TotalCutWeight())
+	case WorstCut:
+		return -(ev.ImbalanceSq(g) + ev.MaxCut())
+	default:
+		panic("partition: unknown objective")
+	}
+}

@@ -1,0 +1,86 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+func TestNewEvalMatchesScans(t *testing.T) {
+	g := gen.Mesh(80, 5)
+	rng := rand.New(rand.NewSource(1))
+	p := RandomBalanced(80, 5, rng)
+	ev := NewEval(g, p)
+
+	wantW := p.PartWeights(g)
+	wantC := p.PartCuts(g)
+	for q := range wantW {
+		if ev.Weights[q] != wantW[q] {
+			t.Errorf("Weights[%d] = %v, want %v", q, ev.Weights[q], wantW[q])
+		}
+		if ev.Cuts[q] != wantC[q] {
+			t.Errorf("Cuts[%d] = %v, want %v", q, ev.Cuts[q], wantC[q])
+		}
+	}
+	if got, want := ev.ImbalanceSq(g), p.ImbalanceSq(g); got != want {
+		t.Errorf("ImbalanceSq = %v, want %v", got, want)
+	}
+	if got, want := ev.MaxCut(), p.MaxPartCut(g); got != want {
+		t.Errorf("MaxCut = %v, want %v", got, want)
+	}
+}
+
+// On unit-weight graphs every aggregate is an exact integer sum, so the
+// cached fitness must equal the scan-based one bit for bit.
+func TestEvalFitnessMatchesPartitionFitness(t *testing.T) {
+	g := gen.Mesh(60, 9)
+	rng := rand.New(rand.NewSource(2))
+	for _, o := range []Objective{TotalCut, WorstCut} {
+		for trial := 0; trial < 10; trial++ {
+			p := RandomBalanced(60, 4, rng)
+			ev := NewEval(g, p)
+			if got, want := ev.Fitness(g, o), p.Fitness(g, o); got != want {
+				t.Errorf("%v trial %d: Eval.Fitness = %v, Partition.Fitness = %v", o, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestEvalMoveTracksFreshScan(t *testing.T) {
+	g := gen.Mesh(70, 11)
+	rng := rand.New(rand.NewSource(3))
+	p := RandomBalanced(70, 4, rng)
+	ev := NewEval(g, p)
+	for trial := 0; trial < 500; trial++ {
+		v := rng.Intn(70)
+		to := rng.Intn(4)
+		ev.Move(g, p, v, to)
+	}
+	fresh := NewEval(g, p)
+	for q := range fresh.Weights {
+		if math.Abs(ev.Weights[q]-fresh.Weights[q]) > 1e-9 {
+			t.Errorf("after moves: Weights[%d] = %v, fresh scan %v", q, ev.Weights[q], fresh.Weights[q])
+		}
+		if math.Abs(ev.Cuts[q]-fresh.Cuts[q]) > 1e-9 {
+			t.Errorf("after moves: Cuts[%d] = %v, fresh scan %v", q, ev.Cuts[q], fresh.Cuts[q])
+		}
+	}
+}
+
+func TestEvalCloneIsIndependent(t *testing.T) {
+	g := gen.Mesh(30, 13)
+	rng := rand.New(rand.NewSource(4))
+	p := RandomBalanced(30, 3, rng)
+	ev := NewEval(g, p)
+	c := ev.Clone()
+	p2 := p.Clone()
+	c.Move(g, p2, 0, int(p2.Assign[0]+1)%3)
+	fresh := NewEval(g, p)
+	for q := range fresh.Weights {
+		if ev.Weights[q] != fresh.Weights[q] || ev.Cuts[q] != fresh.Cuts[q] {
+			t.Fatal("mutating a clone changed the original Eval")
+		}
+	}
+}
