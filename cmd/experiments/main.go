@@ -1,5 +1,6 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation section (see README.md for the experiment index).
+// evaluation section (see README.md for the experiment index), and runs the
+// machine-readable benchmark suites CI tracks.
 //
 // Usage:
 //
@@ -8,6 +9,13 @@
 //	experiments -table 3         # one table
 //	experiments -figure conv     # one figure: 1 | conv | speedup
 //	experiments -o report.txt    # also write the output to a file
+//
+// Benchmark mode emits a JSON artifact (schema internal/bench.SchemaVersion)
+// and can gate against a checked-in baseline:
+//
+//	experiments -bench -suite small -json out.json
+//	experiments -bench -suite small -json out.json -baseline bench/baseline.json -tol 0.10
+//	experiments -bench -suite scale -algos kl,multilevel-kl -json bench.json
 package main
 
 import (
@@ -15,9 +23,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
+	"repro/internal/algo"
 	"repro/internal/bench"
+	"repro/internal/gen"
 	"repro/internal/paperdata"
 )
 
@@ -32,8 +43,21 @@ func main() {
 		runs    = flag.Int("runs", 0, "override run count")
 		gens    = flag.Int("gens", 0, "override generations")
 		workers = flag.Int("evalworkers", 0, "parallel fitness-evaluation goroutines per engine (0 = auto; results are identical for any value)")
+
+		doBench  = flag.Bool("bench", false, "run the machine-readable benchmark suite instead of tables/figures")
+		suite    = flag.String("suite", "small", "benchmark suite: small | scale")
+		algos    = flag.String("algos", "", "comma-separated registry names to benchmark (default: the deterministic set)")
+		jsonPath = flag.String("json", "", "write the benchmark report as JSON to this file")
+		baseline = flag.String("baseline", "", "compare cuts against this baseline report; exit 1 on regression")
+		tol      = flag.Float64("tol", 0.10, "allowed relative cut increase vs the baseline")
+		repeat   = flag.Int("repeat", 1, "timing repetitions per (case, algorithm) pair")
 	)
 	flag.Parse()
+
+	if *doBench {
+		runBench(*suite, *algos, *jsonPath, *baseline, *tol, *repeat, *workers)
+		return
+	}
 
 	opt := bench.Paper()
 	if *quick {
@@ -96,6 +120,85 @@ func emitTable(out io.Writer, id int, opt bench.Options) {
 		fmt.Fprintln(out, paperdata.Compare(id, t).Format())
 	}
 	fmt.Fprintf(out, "[%s regenerated in %s]\n\n", t.ID, time.Since(start).Round(time.Millisecond))
+}
+
+// runBench executes a JSON benchmark suite, optionally writes the artifact,
+// and optionally gates against a baseline report, exiting nonzero when any
+// (case, algo) cut — or a case's best cut — regressed beyond tol.
+func runBench(suiteName, algoCSV, jsonPath, baselinePath string, tol float64, repeat, workers int) {
+	cases, err := bench.SuiteByName(suiteName)
+	if err != nil {
+		fail(err)
+	}
+	names := bench.DefaultJSONAlgos()
+	if algoCSV != "" {
+		names = nil
+		for _, n := range strings.Split(algoCSV, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	for _, n := range names {
+		if _, err := algo.Get(n); err != nil {
+			fail(err)
+		}
+	}
+	opt := algo.Options{Seed: gen.SuiteSeed, EvalWorkers: workers}
+	start := time.Now()
+	rep := bench.RunJSON(suiteName, cases, names, opt, repeat)
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			fmt.Printf("%-16s %-15s skipped: %s\n", r.Case, r.Algo, r.Error)
+			continue
+		}
+		fmt.Printf("%-16s %-15s cut %8.0f  balance %.3f  %12s\n",
+			r.Case, r.Algo, r.Cut, r.Balance, time.Duration(r.NsPerOp))
+	}
+	fmt.Printf("benchmark suite %q: %d results in %s\n",
+		suiteName, len(rep.Results), time.Since(start).Round(time.Millisecond))
+
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+
+	if baselinePath != "" {
+		f, err := os.Open(baselinePath)
+		if err != nil {
+			fail(err)
+		}
+		base, err := bench.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		regs := bench.Compare(base, rep, tol)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: %d cut regression(s) beyond %.0f%% vs %s:\n",
+				len(regs), 100*tol, baselinePath)
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "  ", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no cut regressions beyond %.0f%% vs %s\n", 100*tol, baselinePath)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }
 
 func emitFigure(out io.Writer, id string, opt bench.Options) {

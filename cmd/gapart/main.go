@@ -1,39 +1,30 @@
-// Command gapart partitions a graph with any of the algorithms in this
-// repository and reports the quality metrics of the result.
+// Command gapart partitions a graph with any algorithm in the unified
+// registry (internal/algo) and reports the quality metrics of the result.
 //
 // Usage:
 //
 //	gapart -graph mesh.g -algo dknux -parts 8 [-objective worst] [-gens 200]
-//	gapart -mesh 167 -algo rsb -parts 4
+//	gapart -mesh 10000 -algo multilevel-kl -parts 8
+//	gapart -list
 //
 // The input graph is either read from a file (-graph; the native text
 // format, or METIS/Chaco for .metis/.graph suffixes) or generated from the
-// deterministic benchmark suite (-mesh N). Algorithms: dknux, knux, ux,
-// 2pt, rsb, ibp, rcb, rgb, kl, fm, anneal, multilevel, grow, scattered,
-// strip. The partition is written as "node part" lines with -out and
+// deterministic benchmark suite (-mesh N). Algorithms are selected by
+// registry name; -list prints every name with its description and
+// constraints. The partition is written as "node part" lines with -out and
 // rendered as SVG with -svg.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strings"
 
-	"repro/internal/anneal"
-	"repro/internal/dpga"
-	"repro/internal/fm"
-	"repro/internal/ga"
+	"repro/internal/algo"
 	"repro/internal/gen"
 	"repro/internal/graph"
-	"repro/internal/greedy"
-	"repro/internal/ibp"
-	"repro/internal/kl"
-	"repro/internal/multilevel"
 	"repro/internal/partition"
-	"repro/internal/rcb"
-	"repro/internal/spectral"
 	"repro/internal/viz"
 )
 
@@ -41,18 +32,26 @@ func main() {
 	var (
 		graphPath = flag.String("graph", "", "graph file in the text format (see package graph)")
 		meshN     = flag.Int("mesh", 0, "generate a benchmark mesh with this many nodes instead of reading a file")
-		algo      = flag.String("algo", "dknux", "algorithm: dknux|knux|ux|2pt|rsb|ibp|rcb|rgb|kl|fm|anneal|multilevel|grow|scattered|strip")
+		algoName  = flag.String("algo", "dknux", "algorithm registry name (see -list)")
+		list      = flag.Bool("list", false, "print the registered algorithms and exit")
 		parts     = flag.Int("parts", 4, "number of parts")
 		objective = flag.String("objective", "total", "fitness function: total (Fitness 1) or worst (Fitness 2)")
-		gens      = flag.Int("gens", 200, "GA generations")
-		pop       = flag.Int("pop", 320, "GA total population")
-		islands   = flag.Int("islands", 16, "GA subpopulations (1 = single population)")
+		gens      = flag.Int("gens", 0, "GA generations (0 = default)")
+		pop       = flag.Int("pop", 0, "GA total population (0 = default)")
+		islands   = flag.Int("islands", 0, "GA subpopulations (0 = default, 1 = single population)")
 		workers   = flag.Int("evalworkers", 0, "parallel fitness-evaluation goroutines per engine (0 = auto; results are identical for any value)")
+		passes    = flag.Int("passes", 0, "refinement passes for kl/fm/multilevel (0 = algorithm default)")
+		coarsest  = flag.Int("coarsest", 0, "multilevel: stop coarsening at this many nodes (0 = default)")
 		seed      = flag.Int64("seed", 1994, "random seed")
 		outPath   = flag.String("out", "", "write the partition as 'node part' lines to this file")
 		svgPath   = flag.String("svg", "", "render the partitioned graph as SVG to this file")
 	)
 	flag.Parse()
+
+	if *list {
+		listAlgorithms()
+		return
+	}
 
 	g, err := loadGraph(*graphPath, *meshN)
 	if err != nil {
@@ -65,7 +64,17 @@ func main() {
 		fatal(fmt.Errorf("unknown objective %q", *objective))
 	}
 
-	p, err := run(g, *algo, *parts, obj, *gens, *pop, *islands, *workers, *seed)
+	p, err := algo.Run(g, *algoName, algo.Options{
+		Parts:        *parts,
+		Objective:    obj,
+		Seed:         *seed,
+		Generations:  *gens,
+		PopSize:      *pop,
+		Islands:      *islands,
+		EvalWorkers:  *workers,
+		RefinePasses: *passes,
+		CoarsestSize: *coarsest,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -94,6 +103,31 @@ func main() {
 	}
 }
 
+func listAlgorithms() {
+	for _, name := range algo.Names() {
+		p, err := algo.Get(name)
+		if err != nil {
+			fatal(err)
+		}
+		info := p.Info()
+		var notes []string
+		if info.NeedsCoords {
+			notes = append(notes, "needs coordinates")
+		}
+		if info.PowerOfTwoParts {
+			notes = append(notes, "parts must be 2^d")
+		}
+		if info.Stochastic {
+			notes = append(notes, "seeded")
+		}
+		suffix := ""
+		if len(notes) > 0 {
+			suffix = " [" + strings.Join(notes, ", ") + "]"
+		}
+		fmt.Printf("%-15s %s%s\n", name, info.Description, suffix)
+	}
+}
+
 func loadGraph(path string, meshN int) (*graph.Graph, error) {
 	switch {
 	case path != "" && meshN != 0:
@@ -115,110 +149,6 @@ func loadGraph(path string, meshN int) (*graph.Graph, error) {
 	default:
 		return nil, fmt.Errorf("need -graph FILE or -mesh N (N >= 3)")
 	}
-}
-
-func run(g *graph.Graph, algo string, parts int, obj partition.Objective,
-	gens, pop, islands, workers int, seed int64) (*partition.Partition, error) {
-
-	rng := rand.New(rand.NewSource(seed))
-	switch algo {
-	case "rsb":
-		return spectral.Partition(g, parts, rng)
-	case "ibp":
-		return ibp.Partition(g, parts, ibp.ShuffledRowMajor)
-	case "rcb":
-		return rcb.Partition(g, parts, rcb.Coordinate)
-	case "rgb":
-		return rcb.Partition(g, parts, rcb.GraphBFS)
-	case "kl":
-		p, err := spectral.Partition(g, parts, rng)
-		if err != nil {
-			return nil, err
-		}
-		kl.Refine(g, p, 0)
-		return p, nil
-	case "anneal":
-		return anneal.Partition(g, anneal.Config{Parts: parts, Objective: obj, Seed: seed})
-	case "fm":
-		p, err := greedy.RegionGrow(g, parts)
-		if err != nil {
-			return nil, err
-		}
-		fm.Refine(g, p, fm.Config{})
-		return p, nil
-	case "grow":
-		return greedy.RegionGrow(g, parts)
-	case "scattered":
-		return greedy.Scattered(g.NumNodes(), parts)
-	case "strip":
-		return greedy.StripIndex(g, parts)
-	case "multilevel":
-		return multilevel.Partition(g, multilevel.Config{Parts: parts, Seed: seed},
-			func(cg *graph.Graph, cp int, r *rand.Rand) (*partition.Partition, error) {
-				return spectral.Partition(cg, cp, r)
-			})
-	case "dknux", "knux", "ux", "2pt":
-		return runGA(g, algo, parts, obj, gens, pop, islands, workers, seed)
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q", algo)
-	}
-}
-
-func runGA(g *graph.Graph, algo string, parts int, obj partition.Objective,
-	gens, pop, islands, workers int, seed int64) (*partition.Partition, error) {
-
-	// Seed the population with IBP when coordinates exist (the paper's
-	// recommended practice), otherwise start random.
-	var seeds []*partition.Partition
-	if g.HasCoords() {
-		if s, err := ibp.Partition(g, parts, ibp.ShuffledRowMajor); err == nil {
-			seeds = append(seeds, s)
-		}
-	}
-	estimate := func(i int) *partition.Partition {
-		if len(seeds) > 0 {
-			return seeds[i%len(seeds)]
-		}
-		return partition.RandomBalanced(g.NumNodes(), parts, rand.New(rand.NewSource(seed+int64(i))))
-	}
-	mkOp := func(i int) ga.Crossover {
-		switch algo {
-		case "dknux":
-			return ga.NewDKNUX(estimate(i))
-		case "knux":
-			return ga.NewKNUX(estimate(i))
-		case "ux":
-			return ga.Uniform{}
-		default: // "2pt"
-			return ga.KPoint{K: 2}
-		}
-	}
-	base := ga.Config{
-		Parts:       parts,
-		Objective:   obj,
-		PopSize:     pop,
-		Seeds:       seeds,
-		EvalWorkers: workers,
-		Seed:        seed,
-	}
-	if islands <= 1 {
-		base.Crossover = mkOp(0)
-		e, err := ga.New(g, base)
-		if err != nil {
-			return nil, err
-		}
-		return e.Run(gens).Part, nil
-	}
-	m, err := dpga.New(g, dpga.Config{
-		Base:             base,
-		Islands:          islands,
-		Parallel:         true,
-		CrossoverFactory: mkOp,
-	})
-	if err != nil {
-		return nil, err
-	}
-	return m.Run(gens).Part, nil
 }
 
 func report(g *graph.Graph, p *partition.Partition, obj partition.Objective) {

@@ -1,0 +1,168 @@
+package algo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+// quickOpt keeps the stochastic algorithms cheap enough to conformance-test
+// the whole registry; the contract must hold at any budget.
+func quickOpt(parts int) Options {
+	return Options{
+		Parts:       parts,
+		Seed:        1994,
+		Generations: 25,
+		PopSize:     32,
+		Islands:     2,
+	}
+}
+
+// TestRegistryConformance is the registry-wide contract: every registered
+// partitioner, run through the same entry point on the same graph, returns a
+// valid k-way partition, keeps every part within the balance tolerance, uses
+// every part, and reproduces itself exactly for a fixed seed.
+func TestRegistryConformance(t *testing.T) {
+	g := gen.Mesh(240, 7)
+	if !g.HasCoords() {
+		t.Fatal("conformance mesh must carry coordinates so geometric algorithms run")
+	}
+	const parts = 4
+	ideal := g.TotalNodeWeight() / parts
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			p, err := Run(g, name, quickOpt(parts))
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if err := p.Validate(g); err != nil {
+				t.Fatalf("invalid partition: %v", err)
+			}
+			if p.Parts != parts {
+				t.Fatalf("asked for %d parts, got %d", parts, p.Parts)
+			}
+			for q, w := range p.PartWeights(g) {
+				if w == 0 {
+					t.Errorf("part %d is empty", q)
+				}
+				if w > ideal*(1+BalanceTolerance) {
+					t.Errorf("part %d weight %.0f exceeds tolerance (ideal %.1f, max %.1f)",
+						q, w, ideal, ideal*(1+BalanceTolerance))
+				}
+			}
+			p2, err := Run(g, name, quickOpt(parts))
+			if err != nil {
+				t.Fatalf("second run: %v", err)
+			}
+			for v := range p.Assign {
+				if p.Assign[v] != p2.Assign[v] {
+					t.Fatalf("not deterministic for fixed seed: node %d got parts %d and %d",
+						v, p.Assign[v], p2.Assign[v])
+				}
+			}
+		})
+	}
+}
+
+// TestRegistryConformanceOddParts re-runs the contract with a non-power-of-
+// two part count for every algorithm that supports one.
+func TestRegistryConformanceOddParts(t *testing.T) {
+	g := gen.Mesh(150, 11)
+	const parts = 3
+	ideal := g.TotalNodeWeight() / parts
+	for _, name := range Names() {
+		p, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Info().PowerOfTwoParts {
+			continue
+		}
+		res, err := Run(g, name, quickOpt(parts))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := res.Validate(g); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for q, w := range res.PartWeights(g) {
+			if w > ideal*(1+BalanceTolerance) {
+				t.Errorf("%s: part %d weight %.0f exceeds tolerance (ideal %.1f)", name, q, w, ideal)
+			}
+		}
+	}
+}
+
+func TestRunRejectsInvalidRequests(t *testing.T) {
+	withCoords := gen.Grid(6, 6)
+	noCoords := func() *graph.Graph {
+		b := graph.NewBuilder(8)
+		for v := 1; v < 8; v++ {
+			b.AddEdge(v-1, v, 1)
+		}
+		return b.Build()
+	}()
+
+	if _, err := Run(withCoords, "no-such-algorithm", Options{Parts: 2}); err == nil ||
+		!strings.Contains(err.Error(), "available:") {
+		t.Errorf("unknown name: want error listing available algorithms, got %v", err)
+	}
+	if _, err := Run(withCoords, "kl", Options{Parts: 0}); err == nil {
+		t.Error("parts=0 accepted")
+	}
+	if _, err := Run(noCoords, "ibp", Options{Parts: 2}); err == nil {
+		t.Error("coordinate-requiring algorithm accepted a graph without coordinates")
+	}
+	if _, err := Run(withCoords, "rsb", Options{Parts: 3}); err == nil {
+		t.Error("power-of-two algorithm accepted 3 parts")
+	}
+}
+
+func TestNamesCoverEveryFamily(t *testing.T) {
+	have := map[string]bool{}
+	for _, n := range Names() {
+		have[n] = true
+	}
+	for _, want := range []string{
+		"dknux", "knux", "ux", "2pt", // GA family
+		"rsb", "ibp", "rcb", "rgb", // geometric / spectral baselines
+		"kl", "fm", "anneal", "grow", "scattered", "strip", // flat heuristics
+		"multilevel", "multilevel-kl", "multilevel-fm", "multilevel-rsb", "multilevel-ga",
+	} {
+		if !have[want] {
+			t.Errorf("registry is missing %q", want)
+		}
+	}
+}
+
+func TestRegisterPanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	Register(New(Info{Name: "kl"}, func(g *graph.Graph, opt Options) (*partition.Partition, error) {
+		return nil, nil
+	}))
+}
+
+// TestMultilevelBeatsScatteredByFar is a cheap end-to-end quality floor for
+// the composed pipeline through the registry entry point.
+func TestMultilevelBeatsScatteredByFar(t *testing.T) {
+	g := gen.Mesh(600, 3)
+	ml, err := Run(g, "multilevel-kl", Options{Parts: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := Run(g, "scattered", Options{Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mlCut, scCut := ml.CutSize(g), sc.CutSize(g); mlCut > scCut/4 {
+		t.Errorf("multilevel cut %.0f not far below scattered %.0f", mlCut, scCut)
+	}
+}

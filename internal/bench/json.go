@@ -1,0 +1,302 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// SchemaVersion identifies the JSON layout of Report. Bump it on any
+// incompatible change so downstream tooling (the CI regression gate, perf
+// dashboards) can refuse mixed comparisons instead of misreading fields.
+const SchemaVersion = "repro-bench/v1"
+
+// Result is one (case, algorithm) measurement of a benchmark run. Quality
+// numbers (cut, balance) are deterministic for a fixed seed; timing numbers
+// are environment-dependent and excluded from regression comparisons.
+type Result struct {
+	Case  string `json:"case"`
+	Algo  string `json:"algo"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+	Parts int    `json:"parts"`
+	Seed  int64  `json:"seed"`
+
+	Cut         float64 `json:"cut"`          // Σ_q C(q)/2: total cut weight
+	MaxPartCut  float64 `json:"max_part_cut"` // max_q C(q): worst-part cost
+	ImbalanceSq float64 `json:"imbalance_sq"` // Σ_q (W(q)−W/n)²
+	Balance     float64 `json:"balance"`      // max part weight / ideal; 1.0 is perfect
+
+	WallNS  int64  `json:"wall_ns"`   // total wall time of Repeat runs
+	NsPerOp int64  `json:"ns_per_op"` // WallNS / Repeat
+	Repeat  int    `json:"repeat"`
+	Error   string `json:"error,omitempty"` // non-empty if the algorithm rejected the case
+}
+
+// Report is the machine-readable artifact a benchmark run emits; CI uploads
+// it and diffs Cut against a checked-in baseline.
+type Report struct {
+	Schema    string   `json:"schema"`
+	Suite     string   `json:"suite"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// Case is one graph instance of a benchmark suite.
+type Case struct {
+	Name  string
+	Graph *graph.Graph
+	Parts int
+}
+
+// SmallSuite is the fixed-seed suite the CI bench job runs on every push:
+// small enough to finish in seconds, varied enough (triangulated mesh,
+// structured grid, larger mesh at higher part count) to catch quality
+// regressions in any algorithm family.
+func SmallSuite() []Case {
+	return []Case{
+		{Name: "mesh-400-p4", Graph: gen.Mesh(400, gen.SuiteSeed+400), Parts: 4},
+		{Name: "grid-32x32-p4", Graph: gen.Grid(32, 32), Parts: 4},
+		{Name: "mesh-1500-p8", Graph: gen.Mesh(1500, gen.SuiteSeed+1500), Parts: 8},
+	}
+}
+
+// ScaleSuite is the ~10k-node suite demonstrating the multilevel speed/
+// quality win over flat refinement; heavier, run on demand and archived as
+// BENCH JSON.
+func ScaleSuite() []Case {
+	return []Case{
+		{Name: "mesh-10000-p8", Graph: gen.Mesh(10000, gen.SuiteSeed+10000), Parts: 8},
+	}
+}
+
+// SuiteByName maps the -suite flag to a suite constructor.
+func SuiteByName(name string) ([]Case, error) {
+	switch name {
+	case "small":
+		return SmallSuite(), nil
+	case "scale":
+		return ScaleSuite(), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale)", name)
+	}
+}
+
+// DefaultJSONAlgos is the algorithm set the JSON benchmark measures when the
+// caller does not narrow it: every deterministic flat heuristic, the
+// spectral and geometric baselines, and the multilevel pipelines. The GA
+// family is opt-in (pass it explicitly) because its full budget dominates
+// the suite's runtime.
+func DefaultJSONAlgos() []string {
+	return []string{"grow", "kl", "fm", "rsb", "ibp", "rcb", "multilevel-kl", "multilevel-fm", "multilevel-rsb"}
+}
+
+// RunJSON measures every (case, algorithm) pair and assembles the Report.
+// Algorithms that reject a case (coordinate or part-count constraints)
+// produce a Result with Error set rather than aborting the suite. repeat
+// re-runs each measurement with the same seed — quality is identical, wall
+// time is averaged in NsPerOp.
+func RunJSON(suiteName string, cases []Case, algos []string, opt algo.Options, repeat int) *Report {
+	if repeat <= 0 {
+		repeat = 1
+	}
+	rep := &Report{
+		Schema:    SchemaVersion,
+		Suite:     suiteName,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+	}
+	for _, c := range cases {
+		ideal := c.Graph.TotalNodeWeight() / float64(c.Parts)
+		for _, name := range algos {
+			res := Result{
+				Case:  c.Name,
+				Algo:  name,
+				Nodes: c.Graph.NumNodes(),
+				Edges: c.Graph.NumEdges(),
+				Parts: c.Parts,
+				Seed:  opt.Seed,
+			}
+			o := opt
+			o.Parts = c.Parts
+			start := time.Now()
+			p, err := algo.Run(c.Graph, name, o)
+			for r := 1; r < repeat && err == nil; r++ {
+				p, err = algo.Run(c.Graph, name, o)
+			}
+			res.WallNS = time.Since(start).Nanoseconds()
+			res.NsPerOp = res.WallNS / int64(repeat)
+			res.Repeat = repeat
+			if err != nil {
+				res.Error = err.Error()
+			} else {
+				res.Cut = p.CutSize(c.Graph)
+				res.MaxPartCut = p.MaxPartCut(c.Graph)
+				res.ImbalanceSq = p.ImbalanceSq(c.Graph)
+				var maxW float64
+				for _, w := range p.PartWeights(c.Graph) {
+					if w > maxW {
+						maxW = w
+					}
+				}
+				res.Balance = maxW / ideal
+			}
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep
+}
+
+// WriteJSON serializes the report, indented so diffs of committed baselines
+// stay readable.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses a report and validates its schema tag.
+func ReadJSON(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("bench: parsing report: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: report schema %q, this binary speaks %q", r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Regression is one (case, algo) pair whose cut got worse than the baseline
+// allows, or that stopped producing a result at all.
+type Regression struct {
+	Case, Algo       string
+	BaselineCut, Cut float64
+	RelativeIncrease float64
+	// Failed is set when the pair succeeded in the baseline but errored in
+	// the current run — a total failure, worse than any cut increase.
+	Failed string
+}
+
+func (r Regression) String() string {
+	if r.Failed != "" {
+		return fmt.Sprintf("%s/%s: cut %.0f -> FAILED (%s)", r.Case, r.Algo, r.BaselineCut, r.Failed)
+	}
+	return fmt.Sprintf("%s/%s: cut %.0f -> %.0f (+%.1f%%)",
+		r.Case, r.Algo, r.BaselineCut, r.Cut, 100*r.RelativeIncrease)
+}
+
+// Compare diffs current against baseline and returns every pair whose cut
+// regressed by more than tol (0.10 = 10%), plus per-case best-cut
+// regressions under the synthetic algo name "best", plus hard failures
+// (pairs the baseline measured that now error). Pairs present in only one
+// report are ignored (suites may grow, and runs narrowed with -algos are
+// only held to the baseline cuts of the algorithms they actually ran), as
+// are timing fields (they are machine-dependent). A zero-cut baseline only
+// passes if the current cut is also zero.
+func Compare(baseline, current *Report, tol float64) []Regression {
+	type key struct{ c, a string }
+	ran := map[key]bool{}
+	failed := map[key]string{}
+	for _, r := range current.Results {
+		if r.Error == "" {
+			ran[key{r.Case, r.Algo}] = true
+		} else {
+			failed[key{r.Case, r.Algo}] = r.Error
+		}
+	}
+	// Best-of-case baselines consider only algorithms the current run also
+	// measured: a run narrowed with -algos must not be held to the best cut
+	// of an algorithm it never executed.
+	base := map[key]float64{}
+	baseBest := map[string]float64{}
+	var out []Regression
+	for _, r := range baseline.Results {
+		if r.Error != "" {
+			continue
+		}
+		// A pair the baseline measured but the current run errored on is a
+		// hard regression: the algorithm stopped working on that case.
+		if msg, nowFails := failed[key{r.Case, r.Algo}]; nowFails {
+			out = append(out, Regression{
+				Case: r.Case, Algo: r.Algo,
+				BaselineCut: r.Cut, Failed: msg,
+			})
+			continue
+		}
+		if !ran[key{r.Case, r.Algo}] {
+			continue
+		}
+		base[key{r.Case, r.Algo}] = r.Cut
+		if b, ok := baseBest[r.Case]; !ok || r.Cut < b {
+			baseBest[r.Case] = r.Cut
+		}
+	}
+	// The current best of a case may come from any algorithm measured now,
+	// including ones the baseline has never seen: a newcomer taking over a
+	// case's best cut is an improvement, not a regression.
+	curBest := map[string]float64{}
+	for _, r := range current.Results {
+		if r.Error != "" {
+			continue
+		}
+		if bc, seen := curBest[r.Case]; !seen || r.Cut < bc {
+			curBest[r.Case] = r.Cut
+		}
+		b, ok := base[key{r.Case, r.Algo}]
+		if !ok {
+			continue
+		}
+		if exceeds(r.Cut, b, tol) {
+			out = append(out, Regression{
+				Case: r.Case, Algo: r.Algo,
+				BaselineCut: b, Cut: r.Cut,
+				RelativeIncrease: rel(r.Cut, b),
+			})
+		}
+	}
+	for c, b := range baseBest {
+		cur, ok := curBest[c]
+		if !ok {
+			continue
+		}
+		if exceeds(cur, b, tol) {
+			out = append(out, Regression{
+				Case: c, Algo: "best",
+				BaselineCut: b, Cut: cur,
+				RelativeIncrease: rel(cur, b),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Case != out[j].Case {
+			return out[i].Case < out[j].Case
+		}
+		return out[i].Algo < out[j].Algo
+	})
+	return out
+}
+
+func exceeds(cur, base, tol float64) bool {
+	if base == 0 {
+		return cur > 0
+	}
+	return cur > base*(1+tol)
+}
+
+func rel(cur, base float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return cur/base - 1
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/algo"
+	"repro/internal/gen"
+)
+
+func TestRunJSONSmokeAndRoundTrip(t *testing.T) {
+	cases := []Case{{Name: "mesh-120-p4", Graph: gen.Mesh(120, 1), Parts: 4}}
+	rep := RunJSON("unit", cases, []string{"grow", "kl", "multilevel-kl"}, algo.Options{Seed: 7}, 1)
+	if len(rep.Results) != 3 {
+		t.Fatalf("want 3 results, got %d", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			t.Fatalf("%s/%s unexpectedly failed: %s", r.Case, r.Algo, r.Error)
+		}
+		if r.Cut <= 0 || r.Balance < 1 || r.NsPerOp <= 0 || r.Nodes != 120 {
+			t.Errorf("%s/%s has implausible fields: %+v", r.Case, r.Algo, r)
+		}
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Suite != "unit" || len(back.Results) != 3 || back.Results[1].Cut != rep.Results[1].Cut {
+		t.Errorf("round trip mangled the report: %+v", back)
+	}
+}
+
+func TestRunJSONRecordsConstraintErrors(t *testing.T) {
+	// rsb cannot split into 3 parts; the suite must record the rejection and
+	// keep going rather than abort.
+	rep := RunJSON("unit", []Case{{Name: "mesh-50-p3", Graph: gen.Mesh(50, 2), Parts: 3}},
+		[]string{"rsb", "kl"}, algo.Options{Seed: 1}, 1)
+	if rep.Results[0].Error == "" {
+		t.Error("rsb with 3 parts should have been recorded as an error")
+	}
+	if !strings.Contains(rep.Results[0].Error, "power-of-two") {
+		t.Errorf("unexpected error text: %s", rep.Results[0].Error)
+	}
+	if rep.Results[1].Error != "" || rep.Results[1].Cut == 0 {
+		t.Errorf("kl should have succeeded: %+v", rep.Results[1])
+	}
+}
+
+func TestReadJSONRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"schema":"something-else/v9"}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func report(results ...Result) *Report {
+	return &Report{Schema: SchemaVersion, Results: results}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := report(
+		Result{Case: "a", Algo: "kl", Cut: 100},
+		Result{Case: "a", Algo: "fm", Cut: 90},
+		Result{Case: "b", Algo: "kl", Cut: 50},
+	)
+	cur := report(
+		Result{Case: "a", Algo: "kl", Cut: 112}, // +12%: pair regression
+		Result{Case: "a", Algo: "fm", Cut: 102}, // +13% and new best of case: two findings
+		Result{Case: "b", Algo: "kl", Cut: 49},  // improvement
+	)
+	regs := Compare(base, cur, 0.10)
+	if len(regs) != 3 {
+		t.Fatalf("want 3 regressions (2 pairs + best-of-case), got %d: %v", len(regs), regs)
+	}
+	if regs[0].Algo != "best" || regs[0].Case != "a" || regs[0].BaselineCut != 90 || regs[0].Cut != 102 {
+		t.Errorf("want best-of-case regression 90 -> 102 for a, got %+v", regs[0])
+	}
+	if regs[1].Algo != "fm" || regs[2].Algo != "kl" {
+		t.Errorf("want a/fm and a/kl pair regressions, got %+v", regs[1:])
+	}
+}
+
+func TestCompareBestOfCaseSurvivesAlgorithmSwap(t *testing.T) {
+	// A new algorithm takes over the best cut: no regression even though a
+	// pair got worse, as long as the case's best cut held.
+	base := report(
+		Result{Case: "a", Algo: "kl", Cut: 100},
+	)
+	cur := report(
+		Result{Case: "a", Algo: "kl", Cut: 120},
+		Result{Case: "a", Algo: "multilevel-kl", Cut: 80},
+	)
+	regs := Compare(base, cur, 0.10)
+	if len(regs) != 1 || regs[0].Algo != "kl" {
+		t.Fatalf("want only the kl pair regression, got %v", regs)
+	}
+}
+
+func TestCompareNarrowedRunIgnoresUnranBaselineBest(t *testing.T) {
+	// The baseline's best cut for a case came from an algorithm the current
+	// (narrowed, e.g. -algos kl) run never executed: the run must only be
+	// held to the cuts of what it actually measured.
+	base := report(
+		Result{Case: "a", Algo: "kl", Cut: 132},
+		Result{Case: "a", Algo: "multilevel-rsb", Cut: 95},
+	)
+	cur := report(
+		Result{Case: "a", Algo: "kl", Cut: 132},
+	)
+	if regs := Compare(base, cur, 0.10); len(regs) != 0 {
+		t.Errorf("narrowed run flagged spurious regressions: %v", regs)
+	}
+}
+
+func TestCompareIgnoresMissingPairsAndErrors(t *testing.T) {
+	base := report(
+		Result{Case: "a", Algo: "kl", Cut: 100},
+		Result{Case: "a", Algo: "rsb", Error: "skipped"},
+	)
+	cur := report(
+		Result{Case: "a", Algo: "kl", Cut: 100},
+		Result{Case: "a", Algo: "rsb", Cut: 9999, Error: "skipped"},
+		Result{Case: "new-case", Algo: "kl", Cut: 12345},
+	)
+	if regs := Compare(base, cur, 0.10); len(regs) != 0 {
+		t.Errorf("want no regressions, got %v", regs)
+	}
+}
+
+func TestCompareFlagsNewFailures(t *testing.T) {
+	// An algorithm that produced a cut in the baseline but errors now must
+	// fail the gate, even though no cut is comparable.
+	base := report(
+		Result{Case: "a", Algo: "multilevel-kl", Cut: 978},
+		Result{Case: "a", Algo: "rsb", Error: "skipped"}, // errored in both: fine
+	)
+	cur := report(
+		Result{Case: "a", Algo: "multilevel-kl", Error: "boom"},
+		Result{Case: "a", Algo: "rsb", Error: "skipped"},
+	)
+	regs := Compare(base, cur, 0.10)
+	if len(regs) != 1 || regs[0].Failed != "boom" || regs[0].BaselineCut != 978 {
+		t.Fatalf("want one hard-failure regression, got %v", regs)
+	}
+	if s := regs[0].String(); !strings.Contains(s, "FAILED") {
+		t.Errorf("failure regression should render as FAILED: %s", s)
+	}
+}
+
+func TestCompareZeroCutBaseline(t *testing.T) {
+	base := report(Result{Case: "a", Algo: "kl", Cut: 0})
+	cur := report(Result{Case: "a", Algo: "kl", Cut: 3})
+	if regs := Compare(base, cur, 0.10); len(regs) == 0 {
+		t.Error("nonzero cut against zero baseline must regress")
+	}
+}

@@ -11,7 +11,6 @@
 package fm
 
 import (
-	"container/heap"
 	"math"
 
 	"repro/internal/graph"
@@ -31,6 +30,15 @@ type Config struct {
 // Refine improves p in place, minimizing the edge cut subject to the
 // balance constraint, and returns the total cut reduction.
 func Refine(g *graph.Graph, p *partition.Partition, cfg Config) float64 {
+	return RefineEval(g, p, nil, cfg)
+}
+
+// RefineEval is Refine for callers that track the partition's cached
+// aggregates: every move kept by a pass is applied through ev, so ev stays
+// exactly in sync with p at O(deg) per kept move and never needs a rescan.
+// The multilevel pipeline relies on this to carry one Eval across FM
+// refinement at every uncoarsening level. ev may be nil.
+func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, cfg Config) float64 {
 	maxPasses := cfg.MaxPasses
 	if maxPasses <= 0 {
 		maxPasses = 16
@@ -52,7 +60,7 @@ func Refine(g *graph.Graph, p *partition.Partition, cfg Config) float64 {
 
 	var total float64
 	for pass := 0; pass < maxPasses; pass++ {
-		gain := onePass(g, p, minSize, maxSize)
+		gain := onePass(g, p, ev, minSize, maxSize)
 		total += gain
 		if gain <= 0 {
 			break
@@ -78,21 +86,55 @@ type cand struct {
 	stamp int
 }
 
+// candHeap is a max-heap on gain with value-typed push/pop. It deliberately
+// avoids container/heap: boxing each cand into an interface{} allocated on
+// every push, and the push/pop stream is the hottest loop of a pass
+// (hundreds of thousands of operations on a 10k-node graph).
 type candHeap []cand
 
-func (h candHeap) Len() int            { return len(h) }
-func (h candHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
-func (h candHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *candHeap) Push(x interface{}) { *h = append(*h, x.(cand)) }
-func (h *candHeap) Pop() interface{} {
-	old := *h
-	x := old[len(old)-1]
-	*h = old[:len(old)-1]
-	return x
+func (h *candHeap) push(c cand) {
+	*h = append(*h, c)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s[parent].gain >= s[i].gain {
+			break
+		}
+		s[parent], s[i] = s[i], s[parent]
+		i = parent
+	}
 }
 
-// onePass runs one FM pass and returns the cut improvement kept.
-func onePass(g *graph.Graph, p *partition.Partition, minSize, maxSize int) float64 {
+func (h *candHeap) pop() cand {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(s) && s[l].gain > s[largest].gain {
+			largest = l
+		}
+		if r < len(s) && s[r].gain > s[largest].gain {
+			largest = r
+		}
+		if largest == i {
+			break
+		}
+		s[i], s[largest] = s[largest], s[i]
+		i = largest
+	}
+	return top
+}
+
+// onePass runs one FM pass and returns the cut improvement kept. When ev is
+// non-nil the kept moves are applied through it so it tracks p.
+func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize, maxSize int) float64 {
 	n := g.NumNodes()
 	parts := p.Parts
 
@@ -122,7 +164,7 @@ func onePass(g *graph.Graph, p *partition.Partition, minSize, maxSize int) float
 			}
 		}
 		if bestTo >= 0 {
-			heap.Push(h, cand{v: v, to: bestTo, gain: bestGain, stamp: stamp[v]})
+			h.push(cand{v: v, to: bestTo, gain: bestGain, stamp: stamp[v]})
 		}
 	}
 	for v := 0; v < n; v++ {
@@ -133,8 +175,8 @@ func onePass(g *graph.Graph, p *partition.Partition, minSize, maxSize int) float
 	var log []move
 	var cum, bestCum float64
 	bestK := 0
-	for h.Len() > 0 {
-		c := heap.Pop(h).(cand)
+	for len(*h) > 0 {
+		c := h.pop()
 		v := c.v
 		if locked[v] || c.stamp != stamp[v] {
 			continue // stale entry
@@ -180,9 +222,14 @@ func onePass(g *graph.Graph, p *partition.Partition, minSize, maxSize int) float
 	if bestK == 0 {
 		return 0
 	}
-	// Keep the best prefix.
+	// Keep the best prefix. Moves are replayed in pass order, so each node's
+	// current part matches the logged `from` when its move applies.
 	for _, m := range log[:bestK] {
-		p.Assign[m.v] = uint16(m.to)
+		if ev != nil {
+			ev.Move(g, p, m.v, m.to)
+		} else {
+			p.Assign[m.v] = uint16(m.to)
+		}
 	}
 	return bestCum
 }

@@ -28,8 +28,12 @@ func HillClimb(g *graph.Graph, p *partition.Partition, o partition.Objective, ma
 // HillClimbEval is HillClimb for callers that already hold the partition's
 // cached aggregates (the GA engine keeps one Eval per individual): it skips
 // the O(V+E) setup scan and keeps ev in sync with every move it makes, so
-// the caller can read the final fitness straight from ev.
+// the caller can read the final fitness straight from ev. A nil ev is
+// rebuilt from p (equivalent to HillClimb).
 func HillClimbEval(g *graph.Graph, p *partition.Partition, o partition.Objective, maxPasses int, ev *partition.Eval) int {
+	if ev == nil {
+		ev = partition.NewEval(g, p)
+	}
 	c := &climber{
 		g:   g,
 		p:   p,
@@ -270,12 +274,36 @@ func Bisect(g *graph.Graph, p *partition.Partition) float64 {
 // move costs least is shifted to the lightest neighboring part.
 func Refine(g *graph.Graph, p *partition.Partition, maxPasses int) {
 	HillClimb(g, p, partition.TotalCut, maxPasses)
-	rebalance(g, p)
+	rebalance(g, p, nil)
+}
+
+// RefineEval is Refine for callers that already hold the partition's cached
+// aggregates. It skips the O(V+E) Eval setup scan and keeps ev exactly in
+// sync with every move it makes (including rebalancing moves), so a caller
+// can chain refinements — the multilevel pipeline projects one Eval down its
+// whole uncoarsening hierarchy this way, because projection changes neither
+// part weights nor part cuts. A nil ev is rebuilt from p (equivalent to
+// Refine).
+func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, maxPasses int) {
+	if ev == nil {
+		ev = partition.NewEval(g, p)
+	}
+	HillClimbEval(g, p, partition.TotalCut, maxPasses, ev)
+	rebalance(g, p, ev)
+}
+
+// Rebalance enforces the node-count balance invariant on p without any
+// cut-improving ambition: it exists so refiners that tolerate transient
+// imbalance (FM's slack, projections from weighted coarse graphs) can
+// restore the contract afterwards. ev, when non-nil, is kept in sync.
+func Rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
+	rebalance(g, p, ev)
 }
 
 // rebalance enforces near-perfect balance (max size - min size <= 1 for unit
-// weights) by moving cheapest boundary nodes out of overweight parts.
-func rebalance(g *graph.Graph, p *partition.Partition) {
+// weights) by moving cheapest boundary nodes out of overweight parts. When
+// ev is non-nil it is kept in sync with every move.
+func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
 	n := g.NumNodes()
 	ideal := float64(n) / float64(p.Parts)
 	for iter := 0; iter < n; iter++ {
@@ -326,6 +354,10 @@ func rebalance(g *graph.Graph, p *partition.Partition) {
 				return
 			}
 		}
-		p.Assign[bestV] = uint16(under)
+		if ev != nil {
+			ev.Move(g, p, bestV, under)
+		} else {
+			p.Assign[bestV] = uint16(under)
+		}
 	}
 }

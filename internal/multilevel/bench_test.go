@@ -1,0 +1,47 @@
+package multilevel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/greedy"
+	"repro/internal/kl"
+	"repro/internal/partition"
+)
+
+func klInner(g *graph.Graph, parts int, rng *rand.Rand) (*partition.Partition, error) {
+	p, err := greedy.RegionGrow(g, parts)
+	if err != nil {
+		return nil, err
+	}
+	kl.Refine(g, p, 0)
+	return p, nil
+}
+
+func benchPartition(b *testing.B, n int, ref Refiner) {
+	g := gen.Mesh(n, gen.SuiteSeed+int64(n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Partition(g, Config{Parts: 8, Seed: 1, Refiner: ref}, klInner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPartition10kKLFM(b *testing.B) { benchPartition(b, 10000, RefineKLFM) }
+func BenchmarkPartition10kKL(b *testing.B)   { benchPartition(b, 10000, RefineKL) }
+func BenchmarkPartition10kFM(b *testing.B)   { benchPartition(b, 10000, RefineFM) }
+func BenchmarkPartition10kNone(b *testing.B) { benchPartition(b, 10000, RefineNone) }
+
+func BenchmarkBuildHierarchy10k(b *testing.B) {
+	g := gen.Mesh(10000, gen.SuiteSeed+10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(1))
+		BuildHierarchy(g, 64, 30, rng)
+	}
+}

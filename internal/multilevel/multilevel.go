@@ -3,18 +3,27 @@
 // prior graph contraction step should precede the partitioning of very
 // large graphs using GA's", citing Barnard & Simon's multilevel RSB).
 //
-// Coarsening uses heavy-edge matching: visit nodes in random order, match
-// each unmatched node with its unmatched neighbor across the heaviest edge,
-// and collapse matched pairs into a single node whose weight is the sum and
-// whose edges accumulate the originals. The coarsest graph is partitioned by
-// any Partitioner (GA or RSB here), and the result is projected back up the
-// hierarchy with boundary refinement at every level.
+// The pipeline is the METIS-style V-cycle:
+//
+//	coarsen:   heavy-edge matching collapses the graph level by level until
+//	           it is small (CoarsestSize nodes), aggregating node and edge
+//	           weights so every coarse cut equals the fine cut it represents;
+//	partition: any Partitioner (GA, RSB, KL, FM, greedy, ...) solves the
+//	           coarsest graph, where even expensive algorithms are cheap;
+//	uncoarsen: the solution is projected back up the hierarchy, with boundary
+//	           refinement at every level.
+//
+// Because contraction preserves both part weights and part cuts exactly, the
+// partition.Eval aggregates computed once on the coarsest graph stay valid
+// across every projection; refinement keeps them in sync incrementally, so
+// the whole uncoarsening phase never rescans a graph to recompute fitness.
 package multilevel
 
 import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/fm"
 	"repro/internal/graph"
 	"repro/internal/kl"
 	"repro/internal/partition"
@@ -34,6 +43,11 @@ type Level struct {
 // Coarsen collapses g by one level of heavy-edge matching and returns the
 // coarser graph and the fine→coarse map. Node weights add; parallel edges
 // accumulate weight; self-edges (internal to a matched pair) vanish.
+//
+// Matching visits nodes in random order and pairs each unmatched node with
+// its unmatched neighbor across the heaviest edge — the classic heavy-edge
+// heuristic: hiding heavy edges inside coarse nodes bounds the cut any
+// coarse partition can be forced to pay.
 func Coarsen(g *graph.Graph, rng *rand.Rand) (*graph.Graph, []int) {
 	n := g.NumNodes()
 	match := make([]int, n)
@@ -69,47 +83,48 @@ func Coarsen(g *graph.Graph, rng *rand.Rand) (*graph.Graph, []int) {
 			next++
 		}
 	}
-	b := graph.NewBuilder(next)
-	// Coarse node weights and coordinates (weight-averaged midpoint).
-	wsum := make([]float64, next)
-	var cx, cy []float64
-	if g.HasCoords() {
-		cx = make([]float64, next)
-		cy = make([]float64, next)
+	return graph.Contract(g, coarseOf, next), coarseOf
+}
+
+// Refiner selects the per-level refinement algorithm of the uncoarsening
+// phase. All refiners keep the projected partition.Eval in sync move by
+// move, so no level ever rescans the graph to recompute fitness.
+type Refiner int
+
+const (
+	// RefineKLFM is the default boundary-KL/FM combination: boundary hill
+	// climbing first (cheap, takes every strictly improving move), then FM
+	// passes (escape zero-gain plateaus by accepting neutral/uphill moves
+	// and keeping the best prefix), then a final climb-and-rebalance. This
+	// is what gives multilevel its METIS-like quality.
+	RefineKLFM Refiner = iota
+	// RefineKL is pure boundary hill climbing (kl.RefineEval) with
+	// rebalancing: the cheapest option, at some cut quality cost on graphs
+	// with long straight boundaries.
+	RefineKL
+	// RefineFM is pure Fiduccia–Mattheyses refinement plus a rebalancing
+	// sweep (FM's balance slack cannot drain imbalance inherited from
+	// weighted coarse levels on its own).
+	RefineFM
+	// RefineNone disables refinement; the projection is returned as-is.
+	// Useful for measuring how much refinement contributes.
+	RefineNone
+)
+
+// String returns the flag-friendly name of the refiner.
+func (r Refiner) String() string {
+	switch r {
+	case RefineKLFM:
+		return "kl+fm"
+	case RefineKL:
+		return "kl"
+	case RefineFM:
+		return "fm"
+	case RefineNone:
+		return "none"
+	default:
+		return fmt.Sprintf("Refiner(%d)", int(r))
 	}
-	for v := 0; v < n; v++ {
-		c := coarseOf[v]
-		w := g.NodeWeight(v)
-		wsum[c] += w
-		if g.HasCoords() {
-			p := g.Coord(v)
-			cx[c] += w * p.X
-			cy[c] += w * p.Y
-		}
-	}
-	for c := 0; c < next; c++ {
-		b.SetNodeWeight(c, wsum[c])
-		if g.HasCoords() && wsum[c] > 0 {
-			b.SetCoord(c, graph.Point{X: cx[c] / wsum[c], Y: cy[c] / wsum[c]})
-		}
-	}
-	// Accumulate edge weights between coarse nodes.
-	acc := make(map[[2]int]float64)
-	g.Edges(func(u, v int, w float64) bool {
-		cu, cv := coarseOf[u], coarseOf[v]
-		if cu == cv {
-			return true
-		}
-		if cu > cv {
-			cu, cv = cv, cu
-		}
-		acc[[2]int{cu, cv}] += w
-		return true
-	})
-	for e, w := range acc {
-		b.AddEdge(e[0], e[1], w)
-	}
-	return b.Build(), coarseOf
 }
 
 // Config parameterizes a multilevel partitioning run.
@@ -118,11 +133,15 @@ type Config struct {
 	// CoarsestSize stops coarsening once the graph is at or below this many
 	// nodes; default 64.
 	CoarsestSize int
-	// MaxLevels bounds the hierarchy depth; default 20.
+	// MaxLevels bounds the hierarchy depth; default 30.
 	MaxLevels int
-	// RefinePasses bounds per-level boundary refinement; default 4.
+	// RefinePasses bounds per-level refinement passes; default 4 (the
+	// projection of a refined coarse solution starts near a local optimum,
+	// so later passes find almost nothing).
 	RefinePasses int
-	Seed         int64
+	// Refiner selects the uncoarsening refinement; default RefineKLFM.
+	Refiner Refiner
+	Seed    int64
 }
 
 func (c *Config) withDefaults() Config {
@@ -131,7 +150,7 @@ func (c *Config) withDefaults() Config {
 		out.CoarsestSize = 64
 	}
 	if out.MaxLevels == 0 {
-		out.MaxLevels = 20
+		out.MaxLevels = 30
 	}
 	if out.RefinePasses == 0 {
 		out.RefinePasses = 4
@@ -139,9 +158,28 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// BuildHierarchy coarsens g level by level until it has at most
+// coarsestSize nodes, maxLevels is reached, or matching stops making
+// progress. It returns the fine-to-coarse levels (levels[0].Graph == g) and
+// the coarsest graph. Exposed for tests and for benchmarks that inspect the
+// hierarchy.
+func BuildHierarchy(g *graph.Graph, coarsestSize, maxLevels int, rng *rand.Rand) ([]Level, *graph.Graph) {
+	var levels []Level
+	cur := g
+	for len(levels) < maxLevels && cur.NumNodes() > coarsestSize {
+		coarse, coarseOf := Coarsen(cur, rng)
+		if coarse.NumNodes() >= cur.NumNodes() {
+			break // matching found nothing to merge
+		}
+		levels = append(levels, Level{Graph: cur, CoarseOf: coarseOf})
+		cur = coarse
+	}
+	return levels, cur
+}
+
 // Partition coarsens g, partitions the coarsest graph with inner, and
-// projects the result back up with KL-style boundary refinement at every
-// level.
+// projects the result back up the hierarchy with boundary refinement at
+// every level.
 func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partition, error) {
 	c := cfg.withDefaults()
 	if c.Parts <= 0 {
@@ -152,32 +190,47 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 
-	// Build the hierarchy.
-	var levels []Level
-	cur := g
-	for len(levels) < c.MaxLevels && cur.NumNodes() > c.CoarsestSize {
-		coarse, coarseOf := Coarsen(cur, rng)
-		if coarse.NumNodes() >= cur.NumNodes() {
-			break // matching found nothing to merge
-		}
-		levels = append(levels, Level{Graph: cur, CoarseOf: coarseOf})
-		cur = coarse
-	}
+	levels, coarsest := BuildHierarchy(g, c.CoarsestSize, c.MaxLevels, rng)
 
 	// Partition the coarsest graph.
-	p, err := inner(cur, c.Parts, rng)
+	p, err := inner(coarsest, c.Parts, rng)
 	if err != nil {
 		return nil, fmt.Errorf("multilevel: coarse partition: %w", err)
 	}
+	if err := p.Validate(coarsest); err != nil {
+		return nil, fmt.Errorf("multilevel: inner partitioner result invalid: %w", err)
+	}
 
-	// Project back up, refining at each level.
+	// One Eval for the whole uncoarsening phase: projection preserves part
+	// weights (coarse node weights are member sums) and part cuts (coarse
+	// edge weights are cross-member sums), so the aggregates carry over
+	// verbatim and only refinement moves touch them.
+	var ev *partition.Eval
+	if c.Refiner != RefineNone {
+		ev = partition.NewEval(coarsest, p)
+	}
+
 	for i := len(levels) - 1; i >= 0; i-- {
 		lvl := levels[i]
 		fine := partition.New(lvl.Graph.NumNodes(), c.Parts)
 		for v := range fine.Assign {
 			fine.Assign[v] = p.Assign[lvl.CoarseOf[v]]
 		}
-		kl.Refine(lvl.Graph, fine, c.RefinePasses)
+		switch c.Refiner {
+		case RefineKLFM:
+			// Climb first (each pass is cheap and takes every strictly
+			// improving move), then a single FM pass to slide through the
+			// zero-gain plateaus steepest descent cannot cross, then a final
+			// climb-and-rebalance to harvest what FM exposed.
+			kl.HillClimbEval(lvl.Graph, fine, partition.TotalCut, c.RefinePasses, ev)
+			fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: 1})
+			kl.RefineEval(lvl.Graph, fine, ev, 1)
+		case RefineKL:
+			kl.RefineEval(lvl.Graph, fine, ev, c.RefinePasses)
+		case RefineFM:
+			fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: c.RefinePasses})
+			kl.Rebalance(lvl.Graph, fine, ev)
+		}
 		p = fine
 	}
 	if err := p.Validate(g); err != nil {
