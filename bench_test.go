@@ -467,7 +467,7 @@ func BenchmarkCoarsen(b *testing.B) {
 	rng := rand.New(rand.NewSource(4))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		multilevel.Coarsen(g, rng)
+		multilevel.Coarsen(g, rng, 1)
 	}
 }
 

@@ -1,0 +1,75 @@
+// Command benchtrend aggregates a directory of benchmark JSON artifacts
+// (the bench-*.json files CI uploads on every run, downloaded side by side)
+// into per-(case, algorithm) time series of cut and ns_per_op, so quality
+// and latency drift across commits is visible without opening every file.
+//
+// Usage:
+//
+//	benchtrend -dir artifacts                      # markdown to stdout
+//	benchtrend -dir artifacts -format csv -o t.csv # long-form CSV for plotting
+//	benchtrend -dir artifacts -glob 'bench-scale-*.json'
+//
+// Files are ordered lexically by name, so artifacts named with timestamps,
+// run numbers, or commit sequence form the time axis directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", ".", "directory holding the benchmark JSON artifacts")
+		glob    = flag.String("glob", "bench-*.json", "base-name glob selecting the artifact files")
+		format  = flag.String("format", "markdown", "output format: markdown | csv")
+		outPath = flag.String("o", "", "write the trend to this file instead of stdout")
+	)
+	flag.Parse()
+
+	if *format != "markdown" && *format != "csv" {
+		fatal(fmt.Errorf("unknown format %q (markdown | csv)", *format))
+	}
+	reports, err := bench.LoadReports(*dir, *glob)
+	if err != nil {
+		fatal(err)
+	}
+	if len(reports) == 0 {
+		fatal(fmt.Errorf("no files matching %q in %s", *glob, *dir))
+	}
+
+	var w io.Writer = os.Stdout
+	var out *os.File
+	if *outPath != "" {
+		out, err = os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		w = out
+	}
+
+	trend := bench.NewTrend(reports)
+	if *format == "markdown" {
+		err = trend.WriteMarkdown(w)
+	} else {
+		err = trend.WriteCSV(w)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if out != nil {
+		if err := out.Close(); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchtrend: %d reports, %d series\n", len(reports), len(trend.Rows))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchtrend:", err)
+	os.Exit(1)
+}

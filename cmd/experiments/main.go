@@ -44,18 +44,30 @@ func main() {
 		gens    = flag.Int("gens", 0, "override generations")
 		workers = flag.Int("evalworkers", 0, "parallel fitness-evaluation goroutines per engine (0 = auto; results are identical for any value)")
 
-		doBench  = flag.Bool("bench", false, "run the machine-readable benchmark suite instead of tables/figures")
-		suite    = flag.String("suite", "small", "benchmark suite: small | scale")
-		algos    = flag.String("algos", "", "comma-separated registry names to benchmark (default: the deterministic set)")
-		jsonPath = flag.String("json", "", "write the benchmark report as JSON to this file")
-		baseline = flag.String("baseline", "", "compare cuts against this baseline report; exit 1 on regression")
-		tol      = flag.Float64("tol", 0.10, "allowed relative cut increase vs the baseline")
-		repeat   = flag.Int("repeat", 1, "timing repetitions per (case, algorithm) pair")
+		doBench   = flag.Bool("bench", false, "run the machine-readable benchmark suite instead of tables/figures")
+		suite     = flag.String("suite", "small", "benchmark suite: small | scale | diverse")
+		algos     = flag.String("algos", "", "comma-separated registry names to benchmark (default: the deterministic set)")
+		jsonPath  = flag.String("json", "", "write the benchmark report as JSON to this file")
+		baseline  = flag.String("baseline", "", "compare cuts against this baseline report; exit 1 on regression")
+		tol       = flag.Float64("tol", 0.10, "allowed relative cut increase vs the baseline")
+		exact     = flag.Bool("exact", false, "require cuts identical to the baseline in both directions (the determinism gate)")
+		repeat    = flag.Int("repeat", 1, "timing repetitions per (case, algorithm) pair")
+		mlWorkers = flag.Int("workers", 0, "parallel multilevel coarsening/contraction goroutines (0 = auto; results are identical for any value)")
 	)
 	flag.Parse()
 
 	if *doBench {
-		runBench(*suite, *algos, *jsonPath, *baseline, *tol, *repeat, *workers)
+		runBench(benchRun{
+			suite:    *suite,
+			algoCSV:  *algos,
+			jsonPath: *jsonPath,
+			baseline: *baseline,
+			tol:      *tol,
+			exact:    *exact,
+			repeat:   *repeat,
+			evalW:    *workers,
+			workers:  *mlWorkers,
+		})
 		return
 	}
 
@@ -122,18 +134,33 @@ func emitTable(out io.Writer, id int, opt bench.Options) {
 	fmt.Fprintf(out, "[%s regenerated in %s]\n\n", t.ID, time.Since(start).Round(time.Millisecond))
 }
 
+// benchRun bundles the benchmark-mode flags.
+type benchRun struct {
+	suite    string
+	algoCSV  string
+	jsonPath string
+	baseline string
+	tol      float64
+	exact    bool
+	repeat   int
+	evalW    int // GA fitness-evaluation width
+	workers  int // multilevel pipeline width
+}
+
 // runBench executes a JSON benchmark suite, optionally writes the artifact,
-// and optionally gates against a baseline report, exiting nonzero when any
-// (case, algo) cut — or a case's best cut — regressed beyond tol.
-func runBench(suiteName, algoCSV, jsonPath, baselinePath string, tol float64, repeat, workers int) {
-	cases, err := bench.SuiteByName(suiteName)
+// and optionally gates against a baseline report: with -exact, any cut
+// difference in either direction fails (the Workers determinism gate);
+// otherwise any (case, algo) cut — or a case's best cut — regressing beyond
+// tol fails.
+func runBench(cfg benchRun) {
+	cases, err := bench.SuiteByName(cfg.suite)
 	if err != nil {
 		fail(err)
 	}
 	names := bench.DefaultJSONAlgos()
-	if algoCSV != "" {
+	if cfg.algoCSV != "" {
 		names = nil
-		for _, n := range strings.Split(algoCSV, ",") {
+		for _, n := range strings.Split(cfg.algoCSV, ",") {
 			if n = strings.TrimSpace(n); n != "" {
 				names = append(names, n)
 			}
@@ -144,9 +171,9 @@ func runBench(suiteName, algoCSV, jsonPath, baselinePath string, tol float64, re
 			fail(err)
 		}
 	}
-	opt := algo.Options{Seed: gen.SuiteSeed, EvalWorkers: workers}
+	opt := algo.Options{Seed: gen.SuiteSeed, EvalWorkers: cfg.evalW, Workers: cfg.workers}
 	start := time.Now()
-	rep := bench.RunJSON(suiteName, cases, names, opt, repeat)
+	rep := bench.RunJSON(cfg.suite, cases, names, opt, cfg.repeat)
 	for _, r := range rep.Results {
 		if r.Error != "" {
 			fmt.Printf("%-16s %-15s skipped: %s\n", r.Case, r.Algo, r.Error)
@@ -156,10 +183,10 @@ func runBench(suiteName, algoCSV, jsonPath, baselinePath string, tol float64, re
 			r.Case, r.Algo, r.Cut, r.Balance, time.Duration(r.NsPerOp))
 	}
 	fmt.Printf("benchmark suite %q: %d results in %s\n",
-		suiteName, len(rep.Results), time.Since(start).Round(time.Millisecond))
+		cfg.suite, len(rep.Results), time.Since(start).Round(time.Millisecond))
 
-	if jsonPath != "" {
-		f, err := os.Create(jsonPath)
+	if cfg.jsonPath != "" {
+		f, err := os.Create(cfg.jsonPath)
 		if err != nil {
 			fail(err)
 		}
@@ -170,11 +197,11 @@ func runBench(suiteName, algoCSV, jsonPath, baselinePath string, tol float64, re
 		if err := f.Close(); err != nil {
 			fail(err)
 		}
-		fmt.Println("wrote", jsonPath)
+		fmt.Println("wrote", cfg.jsonPath)
 	}
 
-	if baselinePath != "" {
-		f, err := os.Open(baselinePath)
+	if cfg.baseline != "" {
+		f, err := os.Open(cfg.baseline)
 		if err != nil {
 			fail(err)
 		}
@@ -183,16 +210,27 @@ func runBench(suiteName, algoCSV, jsonPath, baselinePath string, tol float64, re
 		if err != nil {
 			fail(err)
 		}
-		regs := bench.Compare(base, rep, tol)
+		if cfg.exact {
+			if diffs := bench.CompareExact(base, rep); len(diffs) > 0 {
+				fmt.Fprintf(os.Stderr, "experiments: %d cut difference(s) vs %s:\n", len(diffs), cfg.baseline)
+				for _, d := range diffs {
+					fmt.Fprintln(os.Stderr, "  ", d)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("cuts identical to %s\n", cfg.baseline)
+			return
+		}
+		regs := bench.Compare(base, rep, cfg.tol)
 		if len(regs) > 0 {
 			fmt.Fprintf(os.Stderr, "experiments: %d cut regression(s) beyond %.0f%% vs %s:\n",
-				len(regs), 100*tol, baselinePath)
+				len(regs), 100*cfg.tol, cfg.baseline)
 			for _, r := range regs {
 				fmt.Fprintln(os.Stderr, "  ", r)
 			}
 			os.Exit(1)
 		}
-		fmt.Printf("no cut regressions beyond %.0f%% vs %s\n", 100*tol, baselinePath)
+		fmt.Printf("no cut regressions beyond %.0f%% vs %s\n", 100*cfg.tol, cfg.baseline)
 	}
 }
 

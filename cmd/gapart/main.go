@@ -40,6 +40,7 @@ func main() {
 		pop       = flag.Int("pop", 0, "GA total population (0 = default)")
 		islands   = flag.Int("islands", 0, "GA subpopulations (0 = default, 1 = single population)")
 		workers   = flag.Int("evalworkers", 0, "parallel fitness-evaluation goroutines per engine (0 = auto; results are identical for any value)")
+		mlWorkers = flag.Int("workers", 0, "parallel multilevel coarsening/contraction goroutines (0 = auto; results are identical for any value)")
 		passes    = flag.Int("passes", 0, "refinement passes for kl/fm/multilevel (0 = algorithm default)")
 		coarsest  = flag.Int("coarsest", 0, "multilevel: stop coarsening at this many nodes (0 = default)")
 		seed      = flag.Int64("seed", 1994, "random seed")
@@ -74,6 +75,7 @@ func main() {
 		EvalWorkers:  *workers,
 		RefinePasses: *passes,
 		CoarsestSize: *coarsest,
+		Workers:      *mlWorkers,
 	})
 	if err != nil {
 		fatal(err)

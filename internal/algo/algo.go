@@ -44,6 +44,10 @@ type Options struct {
 	// Refinement family (kl, fm, multilevel-*).
 	RefinePasses int // 0 = algorithm default (unlimited for kl, 4 per level for multilevel)
 	CoarsestSize int // multilevel: stop coarsening at this many nodes; 0 = 64
+	// Workers bounds the goroutines the multilevel pipeline's coarsening and
+	// contraction phases may use (0 = auto). Like EvalWorkers, it is a pure
+	// speed knob: results are bit-identical for every value.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {

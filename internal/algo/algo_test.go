@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -65,6 +66,90 @@ func TestRegistryConformance(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestRegistryConformanceDiverse re-runs the registry contract on the
+// diverse graph families (power-law, random-geometric, 3-D grid): structure
+// the mesh suite cannot exercise — hubs, high clustering, quadratic
+// separators, and graphs with no geometric embedding. Coordinate-requiring
+// algorithms are validated on the embedded member and skipped (with an
+// error, not a wrong answer) on the others.
+func TestRegistryConformanceDiverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	graphs := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"powerlaw", gen.PowerLaw(240, 3, 77)},
+		{"rgg", gen.RandomGeometric(rng, 300, 0.11)},
+		{"grid3d", gen.Grid3D(6, 6, 6)},
+	}
+	const parts = 4
+	for _, tc := range graphs {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			ideal := tc.g.TotalNodeWeight() / parts
+			for _, name := range Names() {
+				p, err := Get(name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.Info().NeedsCoords && !tc.g.HasCoords() {
+					if _, err := Run(tc.g, name, quickOpt(parts)); err == nil {
+						t.Errorf("%s: accepted a graph without coordinates", name)
+					}
+					continue
+				}
+				res, err := Run(tc.g, name, quickOpt(parts))
+				if err != nil {
+					t.Errorf("%s: %v", name, err)
+					continue
+				}
+				if err := res.Validate(tc.g); err != nil {
+					t.Errorf("%s: %v", name, err)
+					continue
+				}
+				for q, w := range res.PartWeights(tc.g) {
+					if w == 0 {
+						t.Errorf("%s: part %d is empty", name, q)
+					}
+					if w > ideal*(1+BalanceTolerance) {
+						t.Errorf("%s: part %d weight %.0f exceeds tolerance (ideal %.1f)",
+							name, q, w, ideal)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMultilevelWorkersBitIdentical pins the registry-level contract that
+// Options.Workers — like EvalWorkers — is a pure speed knob: the whole
+// V-cycle (coarsening proposals, contraction merges, refinement) must give
+// the same partition for every width.
+func TestMultilevelWorkersBitIdentical(t *testing.T) {
+	g := gen.Mesh(700, 19)
+	for _, name := range []string{"multilevel-kl", "multilevel-fm", "multilevel-rsb"} {
+		opt := quickOpt(4)
+		base, err := Run(g, name, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, workers := range []int{2, 3, 0} {
+			o := opt
+			o.Workers = workers
+			p, err := Run(g, name, o)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			for v := range p.Assign {
+				if p.Assign[v] != base.Assign[v] {
+					t.Fatalf("%s: Workers=%d changed the result at node %d (%d vs %d)",
+						name, workers, v, p.Assign[v], base.Assign[v])
+				}
+			}
+		}
 	}
 }
 

@@ -119,6 +119,7 @@ func init() {
 	Register(New(Info{
 		Name:        "strip",
 		Description: "index-order strip decomposition",
+		NeedsCoords: true, // slices along the wider coordinate axis
 	}, func(g *graph.Graph, opt Options) (*partition.Partition, error) {
 		return greedy.StripIndex(g, opt.Parts)
 	}))
@@ -177,6 +178,7 @@ func registerMultilevel(name, innerName string, refiner multilevel.Refiner, info
 			CoarsestSize: opt.CoarsestSize,
 			RefinePasses: opt.RefinePasses,
 			Refiner:      refiner,
+			Workers:      opt.Workers,
 			Seed:         opt.Seed,
 		}, inner)
 	}))

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"sort"
 	"time"
@@ -79,6 +80,19 @@ func ScaleSuite() []Case {
 	}
 }
 
+// DiverseSuite stresses structure the mesh suites cannot: a power-law graph
+// (hubs concentrate cut weight and defeat purely local refinement), a random
+// geometric graph (high clustering, ragged boundaries), and a 3-D grid
+// (the smallest separator grows quadratically with side length, unlike the
+// 2-D suites' linear ones). All fixed-seed, like every suite.
+func DiverseSuite() []Case {
+	return []Case{
+		{Name: "powerlaw-3000-p8", Graph: gen.PowerLaw(3000, 3, gen.SuiteSeed+3000), Parts: 8},
+		{Name: "rgg-2000-p8", Graph: gen.RandomGeometric(rand.New(rand.NewSource(gen.SuiteSeed+2000)), 2000, 0.05), Parts: 8},
+		{Name: "grid3d-12-p8", Graph: gen.Grid3D(12, 12, 12), Parts: 8},
+	}
+}
+
 // SuiteByName maps the -suite flag to a suite constructor.
 func SuiteByName(name string) ([]Case, error) {
 	switch name {
@@ -86,8 +100,10 @@ func SuiteByName(name string) ([]Case, error) {
 		return SmallSuite(), nil
 	case "scale":
 		return ScaleSuite(), nil
+	case "diverse":
+		return DiverseSuite(), nil
 	default:
-		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale)", name)
+		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale, diverse)", name)
 	}
 }
 
@@ -284,6 +300,45 @@ func Compare(baseline, current *Report, tol float64) []Regression {
 		}
 		return out[i].Algo < out[j].Algo
 	})
+	return out
+}
+
+// CompareExact diffs current against baseline and reports every shared
+// (case, algo) pair whose cut differs at all — in either direction — plus
+// pairs that succeed in one report and error in the other. It is the
+// determinism gate: a run with Workers > 1 must reproduce a single-worker
+// run's cuts exactly, so even an improvement is a failure here (it would
+// mean the worker count leaked into the result). Pairs present in only one
+// report are ignored, as are timing fields; but if the reports share no
+// pairs at all, that is reported as a failure — a gate that compared
+// nothing must not pass.
+func CompareExact(baseline, current *Report) []string {
+	type key struct{ c, a string }
+	cur := map[key]Result{}
+	for _, r := range current.Results {
+		cur[key{r.Case, r.Algo}] = r
+	}
+	shared := 0
+	var out []string
+	for _, b := range baseline.Results {
+		c, ok := cur[key{b.Case, b.Algo}]
+		if !ok {
+			continue
+		}
+		shared++
+		switch {
+		case b.Error == "" && c.Error != "":
+			out = append(out, fmt.Sprintf("%s/%s: baseline cut %.0f, current FAILED (%s)", b.Case, b.Algo, b.Cut, c.Error))
+		case b.Error != "" && c.Error == "":
+			out = append(out, fmt.Sprintf("%s/%s: baseline FAILED (%s), current cut %.0f", b.Case, b.Algo, b.Error, c.Cut))
+		case b.Error == "" && c.Error == "" && b.Cut != c.Cut:
+			out = append(out, fmt.Sprintf("%s/%s: cut %v != baseline %v", b.Case, b.Algo, c.Cut, b.Cut))
+		}
+	}
+	if shared == 0 {
+		out = append(out, "no shared (case, algo) pairs between baseline and current — nothing was compared")
+	}
+	sort.Strings(out)
 	return out
 }
 

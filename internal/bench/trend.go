@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// This file aggregates a directory of benchmark JSON artifacts — one per
+// commit or CI run — into per-(case, algorithm) time series, closing the
+// loop the CI bench job opened: it uploads bench-*.json artifacts, and
+// cmd/benchtrend turns a collected pile of them into a cut/latency trend
+// table (markdown for humans, CSV for plotting).
+
+// NamedReport pairs a report with the label it appears under in a trend —
+// typically the artifact's filename, whose lexical order is the time axis.
+type NamedReport struct {
+	Label  string
+	Report *Report
+}
+
+// LoadReports reads every file in dir whose base name matches the glob
+// pattern ("" selects "bench-*.json"), in lexical name order. Files that
+// fail to parse or carry a foreign schema abort the load: a trend silently
+// missing runs is worse than no trend.
+func LoadReports(dir, pattern string) ([]NamedReport, error) {
+	if pattern == "" {
+		pattern = "bench-*.json"
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, pattern))
+	if err != nil {
+		return nil, fmt.Errorf("bench: bad glob %q: %w", pattern, err)
+	}
+	sort.Strings(matches)
+	out := make([]NamedReport, 0, len(matches))
+	for _, path := range matches {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := ReadJSON(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", path, err)
+		}
+		out = append(out, NamedReport{Label: filepath.Base(path), Report: rep})
+	}
+	return out, nil
+}
+
+// TrendRow is one (case, algorithm) pair's series across the loaded reports.
+// Missing measurements (pair absent, or errored in that run) are NaN for
+// cuts and -1 for timings.
+type TrendRow struct {
+	Case, Algo string
+	Cuts       []float64
+	NsPerOp    []int64
+}
+
+// Trend is the full aggregation: one column per report, one row per
+// (case, algorithm) pair that appears in any of them.
+type Trend struct {
+	Labels []string
+	Rows   []TrendRow
+}
+
+// NewTrend aggregates the reports in the given order.
+func NewTrend(reports []NamedReport) *Trend {
+	t := &Trend{}
+	type key struct{ c, a string }
+	index := map[key]int{}
+	for _, nr := range reports {
+		t.Labels = append(t.Labels, nr.Label)
+	}
+	for ri, nr := range reports {
+		for _, r := range nr.Report.Results {
+			k := key{r.Case, r.Algo}
+			i, ok := index[k]
+			if !ok {
+				i = len(t.Rows)
+				index[k] = i
+				row := TrendRow{
+					Case:    r.Case,
+					Algo:    r.Algo,
+					Cuts:    make([]float64, len(reports)),
+					NsPerOp: make([]int64, len(reports)),
+				}
+				for j := range row.Cuts {
+					row.Cuts[j] = math.NaN()
+					row.NsPerOp[j] = -1
+				}
+				t.Rows = append(t.Rows, row)
+			}
+			if r.Error == "" {
+				t.Rows[i].Cuts[ri] = r.Cut
+				t.Rows[i].NsPerOp[ri] = r.NsPerOp
+			}
+		}
+	}
+	sort.Slice(t.Rows, func(i, j int) bool {
+		if t.Rows[i].Case != t.Rows[j].Case {
+			return t.Rows[i].Case < t.Rows[j].Case
+		}
+		return t.Rows[i].Algo < t.Rows[j].Algo
+	})
+	return t
+}
+
+// WriteMarkdown emits one table per metric (cut, then ns_per_op), rows per
+// (case, algorithm), columns per report label. Missing measurements render
+// as "-".
+func (t *Trend) WriteMarkdown(w io.Writer) error {
+	write := func(metric string, cell func(row TrendRow, i int) string) error {
+		if _, err := fmt.Fprintf(w, "## %s\n\n", metric); err != nil {
+			return err
+		}
+		header := append([]string{"case", "algo"}, t.Labels...)
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
+			return err
+		}
+		sep := make([]string, len(header))
+		for i := range sep {
+			sep[i] = "---"
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+			return err
+		}
+		for _, row := range t.Rows {
+			cells := []string{row.Case, row.Algo}
+			for i := range t.Labels {
+				cells = append(cells, cell(row, i))
+			}
+			if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | ")); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintln(w)
+		return err
+	}
+	if err := write("cut", func(row TrendRow, i int) string {
+		if math.IsNaN(row.Cuts[i]) {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f", row.Cuts[i])
+	}); err != nil {
+		return err
+	}
+	return write("ns_per_op", func(row TrendRow, i int) string {
+		if row.NsPerOp[i] < 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", row.NsPerOp[i])
+	})
+}
+
+// WriteCSV emits the long form — one record per (report, case, algorithm)
+// measurement — which plotting tools ingest directly. Missing measurements
+// are omitted rather than emitted with sentinel values.
+func (t *Trend) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "label,case,algo,cut,ns_per_op"); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		for i, label := range t.Labels {
+			if math.IsNaN(row.Cuts[i]) {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%.0f,%d\n",
+				label, row.Case, row.Algo, row.Cuts[i], row.NsPerOp[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trendReport(results ...Result) *Report {
+	return &Report{Schema: SchemaVersion, Suite: "small", Results: results}
+}
+
+func writeReport(t *testing.T, dir, name string, rep *Report) {
+	t.Helper()
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := rep.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrendAggregatesAcrossReports(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, "bench-001.json", trendReport(
+		Result{Case: "mesh", Algo: "kl", Cut: 100, NsPerOp: 5000},
+		Result{Case: "mesh", Algo: "fm", Cut: 90, NsPerOp: 9000},
+	))
+	writeReport(t, dir, "bench-002.json", trendReport(
+		Result{Case: "mesh", Algo: "kl", Cut: 95, NsPerOp: 4000},
+		Result{Case: "mesh", Algo: "fm", Error: "broke"},
+		Result{Case: "grid", Algo: "kl", Cut: 40, NsPerOp: 1000},
+	))
+	// Non-matching file must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, "notes.txt"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reports, err := LoadReports(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 2 {
+		t.Fatalf("loaded %d reports, want 2", len(reports))
+	}
+	if reports[0].Label != "bench-001.json" || reports[1].Label != "bench-002.json" {
+		t.Fatalf("labels not in lexical order: %v, %v", reports[0].Label, reports[1].Label)
+	}
+
+	tr := NewTrend(reports)
+	if len(tr.Rows) != 3 {
+		t.Fatalf("%d series, want 3", len(tr.Rows))
+	}
+	// Rows sorted by (case, algo): grid/kl, mesh/fm, mesh/kl.
+	if tr.Rows[0].Case != "grid" || tr.Rows[2].Algo != "kl" {
+		t.Fatalf("unexpected row order: %+v", tr.Rows)
+	}
+	meshKL := tr.Rows[2]
+	if meshKL.Cuts[0] != 100 || meshKL.Cuts[1] != 95 {
+		t.Errorf("mesh/kl cuts = %v", meshKL.Cuts)
+	}
+	meshFM := tr.Rows[1]
+	if meshFM.Cuts[0] != 90 || !math.IsNaN(meshFM.Cuts[1]) {
+		t.Errorf("mesh/fm cuts = %v; errored run must be missing", meshFM.Cuts)
+	}
+	gridKL := tr.Rows[0]
+	if !math.IsNaN(gridKL.Cuts[0]) || gridKL.Cuts[1] != 40 {
+		t.Errorf("grid/kl cuts = %v; pair absent from first run must be missing", gridKL.Cuts)
+	}
+
+	var md strings.Builder
+	if err := tr.WriteMarkdown(&md); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"## cut", "## ns_per_op", "| mesh | kl | 100 | 95 |", "| mesh | fm | 90 | - |"} {
+		if !strings.Contains(md.String(), want) {
+			t.Errorf("markdown missing %q:\n%s", want, md.String())
+		}
+	}
+
+	var csv strings.Builder
+	if err := tr.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	// Header + 4 present measurements (missing ones omitted).
+	if len(lines) != 5 {
+		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), csv.String())
+	}
+	if lines[0] != "label,case,algo,cut,ns_per_op" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if !strings.Contains(csv.String(), "bench-002.json,mesh,kl,95,4000") {
+		t.Errorf("CSV missing expected record:\n%s", csv.String())
+	}
+}
+
+func TestLoadReportsRejectsForeignSchema(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bench-bad.json"),
+		[]byte(`{"schema":"other/v9","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReports(dir, ""); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+}
+
+func TestCompareExact(t *testing.T) {
+	base := trendReport(
+		Result{Case: "mesh", Algo: "kl", Cut: 100},
+		Result{Case: "mesh", Algo: "fm", Cut: 90},
+		Result{Case: "mesh", Algo: "ibp", Error: "no coords"},
+		Result{Case: "mesh", Algo: "old-only", Cut: 5},
+	)
+	// Identical shared pairs: clean.
+	if diffs := CompareExact(base, base); len(diffs) != 0 {
+		t.Fatalf("self-compare reported %v", diffs)
+	}
+	cur := trendReport(
+		Result{Case: "mesh", Algo: "kl", Cut: 99},             // improvement: still a difference
+		Result{Case: "mesh", Algo: "fm", Error: "exploded"},   // was fine, now fails
+		Result{Case: "mesh", Algo: "ibp", Error: "no coords"}, // errors on both sides: fine
+		Result{Case: "mesh", Algo: "new-only", Cut: 1},        // unshared: ignored
+	)
+	diffs := CompareExact(base, cur)
+	if len(diffs) != 2 {
+		t.Fatalf("got %d diffs, want 2: %v", len(diffs), diffs)
+	}
+	for _, d := range diffs {
+		if !strings.Contains(d, "mesh/") {
+			t.Errorf("unexpected diff %q", d)
+		}
+	}
+	// Zero shared pairs must fail, not pass vacuously: a mis-pointed
+	// baseline or renamed suite would otherwise sail through the gate.
+	disjoint := trendReport(Result{Case: "other", Algo: "kl", Cut: 1})
+	if diffs := CompareExact(base, disjoint); len(diffs) == 0 {
+		t.Error("disjoint reports compared clean; the gate passed while comparing nothing")
+	}
+}

@@ -37,7 +37,20 @@ func Refine(g *graph.Graph, p *partition.Partition, cfg Config) float64 {
 // aggregates: every move kept by a pass is applied through ev, so ev stays
 // exactly in sync with p at O(deg) per kept move and never needs a rescan.
 // The multilevel pipeline relies on this to carry one Eval across FM
-// refinement at every uncoarsening level. ev may be nil.
+// refinement at every uncoarsening level. A nil ev is rebuilt from p with
+// boundary tracking enabled.
+//
+// When ev tracks the boundary set, each pass seeds its gain heap from that
+// set instead of scanning all n nodes, and per-node connectivity rows are
+// materialized lazily as the pass spreads outward from the boundary — the
+// expensive work (connectivity scans, heap traffic) scales with the
+// boundary region a pass actually touches, leaving only two O(n)
+// housekeeping scans (the working-assignment copy and the part-size count)
+// per pass, with the Theta(n*parts) connectivity storage allocated once per
+// refinement and reset lazily between passes. The move sequence (and
+// therefore the result) is bit-identical to the historical full-scan pass,
+// because non-boundary nodes never produced heap candidates in the first
+// place.
 func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, cfg Config) float64 {
 	maxPasses := cfg.MaxPasses
 	if maxPasses <= 0 {
@@ -46,6 +59,9 @@ func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, cfg 
 	n := g.NumNodes()
 	if n == 0 || p.Parts < 2 {
 		return 0
+	}
+	if ev == nil {
+		ev = partition.NewEvalBoundary(g, p)
 	}
 	ideal := float64(n) / float64(p.Parts)
 	slack := cfg.BalanceSlack
@@ -58,15 +74,45 @@ func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, cfg 
 	}
 	maxSize := int(math.Ceil(ideal)) + slack
 
+	s := newScratch(n, p.Parts)
 	var total float64
 	for pass := 0; pass < maxPasses; pass++ {
-		gain := onePass(g, p, ev, minSize, maxSize)
+		gain := onePass(g, p, ev, minSize, maxSize, s)
 		total += gain
 		if gain <= 0 {
 			break
 		}
 	}
 	return total
+}
+
+// scratch is the per-refinement working state shared across passes, so a
+// multi-pass run pays the Theta(n*parts) connectivity allocation once
+// instead of once per pass. Validity is stamped with the pass number
+// (connPass, lockPass), so "reset" between passes is a counter increment,
+// never an O(n*parts) zeroing sweep — stale rows are zeroed one at a time
+// if and when a pass actually touches them.
+type scratch struct {
+	pass      int32
+	conn      []float64 // conn[v*parts+q]: weight of v's edges into part q
+	connPass  []int32   // row v is valid iff connPass[v] == pass
+	lockPass  []int32   // v is locked iff lockPass[v] == pass
+	stamp     []int     // heap staleness guard, 0-based within each pass
+	stampPass []int32   // stamp[v] is current-pass iff stampPass[v] == pass
+	work      *partition.Partition
+	heap      candHeap
+	log       []move
+}
+
+func newScratch(n, parts int) *scratch {
+	return &scratch{
+		conn:      make([]float64, n*parts),
+		connPass:  make([]int32, n),
+		lockPass:  make([]int32, n),
+		stamp:     make([]int, n),
+		stampPass: make([]int32, n),
+		work:      partition.New(n, parts),
+	}
 }
 
 // move is one entry of the FM move log.
@@ -132,53 +178,90 @@ func (h *candHeap) pop() cand {
 	return top
 }
 
-// onePass runs one FM pass and returns the cut improvement kept. When ev is
-// non-nil the kept moves are applied through it so it tracks p.
-func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize, maxSize int) float64 {
+// onePass runs one FM pass and returns the cut improvement kept; the kept
+// moves are applied through ev so it tracks p.
+//
+// conn[v*parts+q] — the total weight of v's edges into part q, against the
+// pass's working assignment — is materialized lazily: a node's row is
+// computed (and its stale contents zeroed) on first touch in a pass and
+// updated incrementally afterwards. When ev tracks the boundary, the heap
+// is seeded from that set and the pass's connectivity work never reaches
+// the interior at all; a node whose neighbors all share its part has no
+// candidate move, so the lazily-seeded heap holds exactly the candidates
+// the historical full scan produced, in the same order.
+func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize, maxSize int, s *scratch) float64 {
 	n := g.NumNodes()
 	parts := p.Parts
 
-	// conn[v*parts+q] = total weight of v's edges into part q.
-	conn := make([]float64, n*parts)
-	for v := 0; v < n; v++ {
+	s.pass++
+	work := s.work
+	copy(work.Assign, p.Assign)
+	ensureConn := func(v int) {
+		if s.connPass[v] == s.pass {
+			return
+		}
+		s.connPass[v] = s.pass
+		row := s.conn[v*parts : (v+1)*parts]
+		for q := range row {
+			row[q] = 0
+		}
 		ws := g.EdgeWeights(v)
 		for i, u := range g.Neighbors(v) {
-			conn[v*parts+int(p.Assign[u])] += ws[i]
+			row[work.Assign[u]] += ws[i]
 		}
 	}
 	sizes := p.PartSizes()
-	locked := make([]bool, n)
-	stamp := make([]int, n)
+	locked := func(v int) bool { return s.lockPass[v] == s.pass }
+	// stamp values restart at 0 each pass; the reset is lazy (stamped with
+	// the pass number) so it costs nothing for untouched nodes.
+	stampOf := func(v int) int {
+		if s.stampPass[v] != s.pass {
+			s.stampPass[v] = s.pass
+			s.stamp[v] = 0
+		}
+		return s.stamp[v]
+	}
+	bumpStamp := func(v int) int {
+		s.stamp[v] = stampOf(v) + 1
+		return s.stamp[v]
+	}
 
-	h := &candHeap{}
+	h := &s.heap
+	*h = (*h)[:0]
 	pushBest := func(v int) {
-		from := int(p.Assign[v])
-		base := conn[v*parts+from]
+		ensureConn(v)
+		from := int(work.Assign[v])
+		base := s.conn[v*parts+from]
 		bestTo, bestGain := -1, math.Inf(-1)
 		for q := 0; q < parts; q++ {
-			if q == from || conn[v*parts+q] == 0 {
+			if q == from || s.conn[v*parts+q] == 0 {
 				continue // only move toward parts v touches (boundary moves)
 			}
-			if gainQ := conn[v*parts+q] - base; gainQ > bestGain {
+			if gainQ := s.conn[v*parts+q] - base; gainQ > bestGain {
 				bestTo, bestGain = q, gainQ
 			}
 		}
 		if bestTo >= 0 {
-			h.push(cand{v: v, to: bestTo, gain: bestGain, stamp: stamp[v]})
+			h.push(cand{v: v, to: bestTo, gain: bestGain, stamp: stampOf(v)})
 		}
 	}
-	for v := 0; v < n; v++ {
-		pushBest(v)
+	if ev.TracksBoundary() {
+		for _, v := range ev.Boundary() {
+			pushBest(v)
+		}
+	} else {
+		for v := 0; v < n; v++ {
+			pushBest(v)
+		}
 	}
 
-	work := p.Clone()
-	var log []move
+	log := s.log[:0]
 	var cum, bestCum float64
 	bestK := 0
 	for len(*h) > 0 {
 		c := h.pop()
 		v := c.v
-		if locked[v] || c.stamp != stamp[v] {
+		if locked(v) || c.stamp != stampOf(v) {
 			continue // stale entry
 		}
 		from := int(work.Assign[v])
@@ -189,16 +272,16 @@ func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize
 		if sizes[from]-1 < minSize || sizes[c.to]+1 > maxSize {
 			// Illegal now; it may become legal after other moves, so
 			// re-stamp and re-push once.
-			stamp[v]++
+			bumpStamp(v)
 			pushBest(v)
 			// Avoid infinite loops: lock if it bounced too many times.
-			if stamp[v] > 2*parts {
-				locked[v] = true
+			if s.stamp[v] > 2*parts {
+				s.lockPass[v] = s.pass
 			}
 			continue
 		}
 		// Apply the move.
-		locked[v] = true
+		s.lockPass[v] = s.pass
 		work.Assign[v] = uint16(c.to)
 		sizes[from]--
 		sizes[c.to]++
@@ -207,29 +290,30 @@ func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize
 		if cum > bestCum {
 			bestCum, bestK = cum, len(log)
 		}
-		// Update neighbors' connectivity and re-queue them.
+		// Update neighbors' connectivity and re-queue them. A neighbor whose
+		// row is not yet materialized needs no delta: its lazy scan already
+		// sees v in its new part.
 		ws := g.EdgeWeights(v)
 		for i, u := range g.Neighbors(v) {
-			if locked[u] {
+			if locked(int(u)) {
 				continue
 			}
-			conn[int(u)*parts+from] -= ws[i]
-			conn[int(u)*parts+c.to] += ws[i]
-			stamp[u]++
+			if s.connPass[u] == s.pass {
+				s.conn[int(u)*parts+from] -= ws[i]
+				s.conn[int(u)*parts+c.to] += ws[i]
+			}
+			bumpStamp(int(u))
 			pushBest(int(u))
 		}
 	}
+	s.log = log
 	if bestK == 0 {
 		return 0
 	}
 	// Keep the best prefix. Moves are replayed in pass order, so each node's
 	// current part matches the logged `from` when its move applies.
 	for _, m := range log[:bestK] {
-		if ev != nil {
-			ev.Move(g, p, m.v, m.to)
-		} else {
-			p.Assign[m.v] = uint16(m.to)
-		}
+		ev.Move(g, p, m.v, m.to)
 	}
 	return bestCum
 }

@@ -1,0 +1,83 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// PowerLaw returns a Barabási–Albert preferential-attachment graph: nodes
+// arrive one at a time and attach m edges to existing nodes with probability
+// proportional to their current degree, producing the hub-dominated degree
+// distribution of web, citation, and social graphs. Such graphs have no
+// geometric embedding and no small separators around their hubs, which makes
+// them the canonical stress case for partitioners tuned on meshes. The same
+// (n, m, seed) always produces the same graph, and the result is connected
+// by construction.
+func PowerLaw(n, m int, seed int64) *graph.Graph {
+	if m < 1 || n < m+1 {
+		panic(fmt.Sprintf("gen: power law needs n >= m+1 >= 2, got n=%d m=%d", n, m))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	// endpoints lists every edge endpoint once; sampling it uniformly is
+	// sampling nodes proportionally to degree.
+	endpoints := make([]int, 0, 2*m*n)
+	// Seed clique over the first m+1 nodes so every early node has degree m.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddEdge(u, v, 1)
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	targets := make([]int, 0, m)
+	for v := m + 1; v < n; v++ {
+		targets = targets[:0]
+	draw:
+		for len(targets) < m {
+			t := endpoints[rng.Intn(len(endpoints))]
+			for _, seen := range targets {
+				if seen == t {
+					continue draw // duplicate target: redraw
+				}
+			}
+			targets = append(targets, t)
+		}
+		for _, t := range targets {
+			b.AddEdge(v, t, 1)
+			endpoints = append(endpoints, v, t)
+		}
+	}
+	return b.Build()
+}
+
+// Grid3D returns the nx × ny × nz 6-neighbor grid with unit weights: the
+// canonical structured 3-D volume mesh, whose minimal separators are planes
+// of nx*ny nodes rather than the 2-D suites' lines. It carries no geometric
+// embedding (the repository's coordinates are 2-D), so it also exercises the
+// purely combinatorial algorithms' handling of volume meshes.
+func Grid3D(nx, ny, nz int) *graph.Graph {
+	if nx <= 0 || ny <= 0 || nz <= 0 {
+		panic(fmt.Sprintf("gen: invalid 3-D grid %dx%dx%d", nx, ny, nz))
+	}
+	b := graph.NewBuilder(nx * ny * nz)
+	id := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := id(x, y, z)
+				if x+1 < nx {
+					b.AddEdge(v, id(x+1, y, z), 1)
+				}
+				if y+1 < ny {
+					b.AddEdge(v, id(x, y+1, z), 1)
+				}
+				if z+1 < nz {
+					b.AddEdge(v, id(x, y, z+1), 1)
+				}
+			}
+		}
+	}
+	return b.Build()
+}

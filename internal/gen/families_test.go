@@ -1,0 +1,132 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestPowerLawShapeAndDeterminism(t *testing.T) {
+	const n, m = 500, 3
+	g := PowerLaw(n, m, 42)
+	if g.NumNodes() != n {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), n)
+	}
+	// Seed clique of m+1 nodes plus m edges per later node.
+	wantEdges := m*(m+1)/2 + (n-m-1)*m
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("preferential attachment produced a disconnected graph")
+	}
+	if g.HasCoords() {
+		t.Error("power-law graph should carry no geometric embedding")
+	}
+	// Same seed, same graph; different seed, different graph.
+	h := PowerLaw(n, m, 42)
+	for v := 0; v < n; v++ {
+		gn, hn := g.Neighbors(v), h.Neighbors(v)
+		if len(gn) != len(hn) {
+			t.Fatalf("node %d degree differs across identical seeds", v)
+		}
+		for i := range gn {
+			if gn[i] != hn[i] {
+				t.Fatalf("node %d adjacency differs across identical seeds", v)
+			}
+		}
+	}
+	other := PowerLaw(n, m, 43)
+	same := true
+	for v := 0; v < n && same; v++ {
+		a, b := g.Neighbors(v), other.Neighbors(v)
+		if len(a) != len(b) {
+			same = false
+			break
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical graphs")
+	}
+}
+
+func TestPowerLawIsHubDominated(t *testing.T) {
+	// The defining property: a heavy degree tail. The top 1% of nodes must
+	// own several times their uniform share of edge endpoints.
+	const n, m = 2000, 3
+	g := PowerLaw(n, m, 7)
+	degs := make([]int, n)
+	for v := 0; v < n; v++ {
+		degs[v] = g.Degree(v)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	top := 0
+	for _, d := range degs[:n/100] {
+		top += d
+	}
+	share := float64(top) / float64(2*g.NumEdges())
+	if share < 0.05 { // uniform share would be 0.01
+		t.Errorf("top 1%% of nodes hold only %.1f%% of endpoints; no heavy tail", 100*share)
+	}
+	if degs[0] < 4*m {
+		t.Errorf("max degree %d barely above attachment degree %d", degs[0], m)
+	}
+}
+
+func TestPowerLawPanicsOnBadArgs(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"m=0":   func() { PowerLaw(10, 0, 1) },
+		"n<m+1": func() { PowerLaw(3, 3, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGrid3DShape(t *testing.T) {
+	const nx, ny, nz = 4, 5, 6
+	g := Grid3D(nx, ny, nz)
+	if g.NumNodes() != nx*ny*nz {
+		t.Fatalf("nodes = %d, want %d", g.NumNodes(), nx*ny*nz)
+	}
+	wantEdges := (nx-1)*ny*nz + nx*(ny-1)*nz + nx*ny*(nz-1)
+	if g.NumEdges() != wantEdges {
+		t.Fatalf("edges = %d, want %d", g.NumEdges(), wantEdges)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsConnected() {
+		t.Error("grid is disconnected")
+	}
+	// Interior nodes have exactly 6 neighbors, corners exactly 3.
+	if d := g.Degree((1*ny+1)*nx + 1); d != 6 {
+		t.Errorf("interior degree = %d, want 6", d)
+	}
+	if d := g.Degree(0); d != 3 {
+		t.Errorf("corner degree = %d, want 3", d)
+	}
+}
+
+func TestGrid3DPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero dimension")
+		}
+	}()
+	Grid3D(3, 0, 3)
+}

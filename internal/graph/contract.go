@@ -3,6 +3,8 @@ package graph
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/par"
 )
 
 // Contract collapses g into a coarser graph with nCoarse nodes according to
@@ -16,8 +18,12 @@ import (
 // directly instead of going through Builder's edge map: one counting-sort
 // pass groups members by coarse node, then a stamped-scratch accumulation
 // merges each coarse node's neighborhood in O(deg) without hashing. The
-// result is identical to the Builder-based construction.
-func Contract(g *Graph, coarseOf []int, nCoarse int) *Graph {
+// per-coarse-node merges are independent, so they run on `workers`
+// goroutines (<= 0 selects GOMAXPROCS) over disjoint coarse-node ranges;
+// every merge writes only its own chunk's buffers, so the result is
+// bit-identical for every worker count. The result is identical to the
+// Builder-based construction.
+func Contract(g *Graph, coarseOf []int, nCoarse, workers int) *Graph {
 	n := g.NumNodes()
 	if len(coarseOf) != n {
 		panic(fmt.Sprintf("graph: Contract map covers %d of %d nodes", len(coarseOf), n))
@@ -61,38 +67,88 @@ func Contract(g *Graph, coarseOf []int, nCoarse int) *Graph {
 		cursor[c]++
 	}
 
-	// Merge each coarse node's neighborhood. mark[cu] == stamp of the current
-	// coarse node means cu already has a slot in this node's adjacency run.
-	offsets := make([]int32, nCoarse+1)
-	adj := make([]int32, 0, len(g.adj))
-	ew := make([]float64, 0, len(g.adj))
-	mark := make([]int32, nCoarse)
-	slot := make([]int32, nCoarse)
-	for i := range mark {
-		mark[i] = -1
+	// Merge each coarse node's neighborhood into per-chunk buffers, in
+	// parallel over disjoint coarse-node ranges. mark[cu] == stamp of the
+	// current coarse node means cu already has a slot in this node's
+	// adjacency run; stamps are globally unique (the coarse node id), so a
+	// worker's scratch never needs resetting between chunks. Each chunk owns
+	// its output buffers, making the merge schedule-independent.
+	workers = par.Workers(workers)
+	const chunkSize = 512
+	numChunks := (nCoarse + chunkSize - 1) / chunkSize
+	type chunkOut struct {
+		adj []int32
+		ew  []float64
+		// degOff[i] bounds the runs of the chunk's coarse nodes within
+		// adj/ew, like a chunk-local CSR offset array.
+		degOff []int32
 	}
-	for c := 0; c < nCoarse; c++ {
-		runStart := len(adj)
-		for _, v := range members[memberOff[c]:memberOff[c+1]] {
-			nbrs := g.Neighbors(int(v))
-			ws := g.EdgeWeights(int(v))
-			for i, u := range nbrs {
-				cu := coarseOf[u]
-				if cu == c {
-					continue
+	chunks := make([]chunkOut, numChunks)
+	type scratch struct {
+		mark, slot []int32
+	}
+	scratches := make([]*scratch, workers)
+	par.For(workers, numChunks, func(worker, lo, hi int) {
+		s := scratches[worker]
+		if s == nil {
+			s = &scratch{mark: make([]int32, nCoarse), slot: make([]int32, nCoarse)}
+			for i := range s.mark {
+				s.mark[i] = -1
+			}
+			scratches[worker] = s
+		}
+		for ci := lo; ci < hi; ci++ {
+			cLo, cHi := ci*chunkSize, (ci+1)*chunkSize
+			if cHi > nCoarse {
+				cHi = nCoarse
+			}
+			out := &chunks[ci]
+			out.degOff = make([]int32, cHi-cLo+1)
+			for c := cLo; c < cHi; c++ {
+				runStart := len(out.adj)
+				for _, v := range members[memberOff[c]:memberOff[c+1]] {
+					nbrs := g.Neighbors(int(v))
+					ws := g.EdgeWeights(int(v))
+					for i, u := range nbrs {
+						cu := coarseOf[u]
+						if cu == c {
+							continue
+						}
+						if s.mark[cu] == int32(c) {
+							out.ew[s.slot[cu]] += ws[i]
+						} else {
+							s.mark[cu] = int32(c)
+							s.slot[cu] = int32(len(out.adj))
+							out.adj = append(out.adj, int32(cu))
+							out.ew = append(out.ew, ws[i])
+						}
+					}
 				}
-				if mark[cu] == int32(c) {
-					ew[slot[cu]] += ws[i]
-				} else {
-					mark[cu] = int32(c)
-					slot[cu] = int32(len(adj))
-					adj = append(adj, int32(cu))
-					ew = append(ew, ws[i])
-				}
+				sort.Sort(&adjSorter{out.adj[runStart:], out.ew[runStart:]})
+				out.degOff[c-cLo+1] = int32(len(out.adj))
 			}
 		}
-		sort.Sort(&adjSorter{adj[runStart:], ew[runStart:]})
-		offsets[c+1] = int32(len(adj))
+	})
+
+	// Assemble the final CSR arrays by concatenating the chunks in coarse-
+	// node order — a straight copy, independent of which worker produced
+	// which chunk.
+	offsets := make([]int32, nCoarse+1)
+	total := 0
+	for _, out := range chunks {
+		total += len(out.adj)
+	}
+	adj := make([]int32, 0, total)
+	ew := make([]float64, 0, total)
+	for ci := range chunks {
+		out := &chunks[ci]
+		base := int32(len(adj))
+		cLo := ci * chunkSize
+		for i := 1; i < len(out.degOff); i++ {
+			offsets[cLo+i] = base + out.degOff[i]
+		}
+		adj = append(adj, out.adj...)
+		ew = append(ew, out.ew...)
 	}
 
 	coarse := &Graph{

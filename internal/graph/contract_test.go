@@ -124,7 +124,7 @@ func TestContractMatchesBuilderReference(t *testing.T) {
 		n := 20 + rng.Intn(120)
 		g := contractTestGraph(n, rng, seed%2 == 0)
 		coarseOf, nCoarse := randomCoarseMap(n, rng)
-		fast := Contract(g, coarseOf, nCoarse)
+		fast := Contract(g, coarseOf, nCoarse, 1)
 		if err := fast.Validate(); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -136,7 +136,7 @@ func TestContractPreservesTotalNodeWeight(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	g := contractTestGraph(200, rng, false)
 	coarseOf, nCoarse := randomCoarseMap(200, rng)
-	coarse := Contract(g, coarseOf, nCoarse)
+	coarse := Contract(g, coarseOf, nCoarse, 1)
 	if math.Abs(coarse.TotalNodeWeight()-g.TotalNodeWeight()) > 1e-9 {
 		t.Errorf("total node weight %v -> %v", g.TotalNodeWeight(), coarse.TotalNodeWeight())
 	}
@@ -149,14 +149,14 @@ func TestContractIdentityMap(t *testing.T) {
 	for v := range id {
 		id[v] = v
 	}
-	graphsEqual(t, Contract(g, id, g.NumNodes()), g)
+	graphsEqual(t, Contract(g, id, g.NumNodes(), 1), g)
 }
 
 func TestContractAllToOne(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	g := contractTestGraph(50, rng, false)
 	coarseOf := make([]int, g.NumNodes())
-	coarse := Contract(g, coarseOf, 1)
+	coarse := Contract(g, coarseOf, 1, 1)
 	if coarse.NumNodes() != 1 || coarse.NumEdges() != 0 {
 		t.Fatalf("all-to-one gave %d nodes, %d edges", coarse.NumNodes(), coarse.NumEdges())
 	}
@@ -168,8 +168,8 @@ func TestContractAllToOne(t *testing.T) {
 func TestContractPanicsOnBadMap(t *testing.T) {
 	g := contractTestGraph(10, rand.New(rand.NewSource(1)), false)
 	for name, fn := range map[string]func(){
-		"short map":    func() { Contract(g, make([]int, 3), 2) },
-		"out of range": func() { Contract(g, make([]int, 10), 0) },
+		"short map":    func() { Contract(g, make([]int, 3), 2, 1) },
+		"out of range": func() { Contract(g, make([]int, 10), 0, 1) },
 	} {
 		func() {
 			defer func() {
@@ -189,7 +189,7 @@ func BenchmarkContract(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Contract(g, coarseOf, nCoarse)
+		Contract(g, coarseOf, nCoarse, 1)
 	}
 }
 
@@ -201,5 +201,22 @@ func BenchmarkContractViaBuilder(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		contractViaBuilder(g, coarseOf, nCoarse)
+	}
+}
+
+func TestContractWorkersBitIdentical(t *testing.T) {
+	// The worker count is a pure speed knob: any value must produce the
+	// exact same coarse graph, adjacency order and float accumulation
+	// included.
+	for seed := int64(0); seed < 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(2000)
+		g := contractTestGraph(n, rng, seed%2 == 0)
+		coarseOf, nCoarse := randomCoarseMap(n, rng)
+		ref := Contract(g, coarseOf, nCoarse, 1)
+		for _, workers := range []int{2, 3, 8, 0} {
+			got := Contract(g, coarseOf, nCoarse, workers)
+			graphsEqual(t, got, ref)
+		}
 	}
 }

@@ -58,7 +58,7 @@ func (c *climber) climb(maxPasses int) int {
 	moves := 0
 	for pass := 0; maxPasses <= 0 || pass < maxPasses; pass++ {
 		improved := false
-		for _, v := range c.p.BoundaryNodes(c.g) {
+		for _, v := range c.boundary() {
 			if c.tryBestMove(v) {
 				moves++
 				improved = true
@@ -69,6 +69,17 @@ func (c *climber) climb(maxPasses int) int {
 		}
 	}
 	return moves
+}
+
+// boundary snapshots the boundary at pass start: from the Eval's tracked set
+// in O(b log b) when available, otherwise by the O(V+E) scan. Both yield the
+// boundary nodes in increasing order, so the climb visits identical nodes in
+// identical order either way — tracking changes the cost, never the result.
+func (c *climber) boundary() []int {
+	if c.ev.TracksBoundary() {
+		return c.ev.Boundary()
+	}
+	return c.p.BoundaryNodes(c.g)
 }
 
 // climber walks a partition together with its cached per-part weights and
@@ -139,13 +150,14 @@ func (c *climber) moveDelta(v, to int) (fit, dFrom, dTo float64) {
 // tryBestMove moves v to the neighboring part that most improves fitness, if
 // any strictly does, updating the cached state. Candidate parts are examined
 // in neighbor order (ties go to the earliest), keeping the climb fully
-// deterministic.
+// deterministic. The winning move is applied through Eval.Move so the
+// aggregates — and the boundary set, when tracked — stay exact.
 func (c *climber) tryBestMove(v int) bool {
 	from := int(c.p.Assign[v])
 	var tried [8]int // dedup scratch; spills to append for high-degree nodes
 	cand := tried[:0]
 	bestTo := -1
-	var bestFit, bestDFrom, bestDTo float64
+	var bestFit float64
 scan:
 	for _, u := range c.g.Neighbors(v) {
 		to := int(c.p.Assign[u])
@@ -158,20 +170,15 @@ scan:
 			}
 		}
 		cand = append(cand, to)
-		fit, dF, dT := c.moveDelta(v, to)
+		fit, _, _ := c.moveDelta(v, to)
 		if fit > 1e-12 && (bestTo < 0 || fit > bestFit) {
-			bestTo, bestFit, bestDFrom, bestDTo = to, fit, dF, dT
+			bestTo, bestFit = to, fit
 		}
 	}
 	if bestTo < 0 {
 		return false
 	}
-	wv := c.g.NodeWeight(v)
-	c.ev.Weights[from] -= wv
-	c.ev.Weights[bestTo] += wv
-	c.ev.Cuts[from] += bestDFrom
-	c.ev.Cuts[bestTo] += bestDTo
-	c.p.Assign[v] = uint16(bestTo)
+	c.ev.Move(c.g, c.p, v, bestTo)
 	return true
 }
 
@@ -269,12 +276,11 @@ func Bisect(g *graph.Graph, p *partition.Partition) float64 {
 }
 
 // Refine improves a k-way partition by running HillClimb with the TotalCut
-// objective, then rebalancing if hill climbing skewed part sizes: while some
-// part exceeds the ideal size by more than one node, its boundary node whose
-// move costs least is shifted to the lightest neighboring part.
+// objective, then rebalancing if hill climbing skewed part weights: while
+// some part exceeds the ideal weight by more than the heaviest node, its
+// boundary node whose move costs least is shifted to the lightest part.
 func Refine(g *graph.Graph, p *partition.Partition, maxPasses int) {
-	HillClimb(g, p, partition.TotalCut, maxPasses)
-	rebalance(g, p, nil)
+	RefineEval(g, p, nil, maxPasses)
 }
 
 // RefineEval is Refine for callers that already hold the partition's cached
@@ -282,17 +288,18 @@ func Refine(g *graph.Graph, p *partition.Partition, maxPasses int) {
 // sync with every move it makes (including rebalancing moves), so a caller
 // can chain refinements — the multilevel pipeline projects one Eval down its
 // whole uncoarsening hierarchy this way, because projection changes neither
-// part weights nor part cuts. A nil ev is rebuilt from p (equivalent to
-// Refine).
+// part weights nor part cuts. A nil ev is rebuilt from p with boundary
+// tracking enabled, so even the flat path pays the full-graph scan once
+// instead of once per pass.
 func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, maxPasses int) {
 	if ev == nil {
-		ev = partition.NewEval(g, p)
+		ev = partition.NewEvalBoundary(g, p)
 	}
 	HillClimbEval(g, p, partition.TotalCut, maxPasses, ev)
 	rebalance(g, p, ev)
 }
 
-// Rebalance enforces the node-count balance invariant on p without any
+// Rebalance enforces the node-weight balance invariant on p without any
 // cut-improving ambition: it exists so refiners that tolerate transient
 // imbalance (FM's slack, projections from weighted coarse graphs) can
 // restore the contract afterwards. ev, when non-nil, is kept in sync.
@@ -300,20 +307,37 @@ func Rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
 	rebalance(g, p, ev)
 }
 
-// rebalance enforces near-perfect balance (max size - min size <= 1 for unit
-// weights) by moving cheapest boundary nodes out of overweight parts. When
-// ev is non-nil it is kept in sync with every move.
+// rebalance enforces near-perfect weight balance by moving cheapest boundary
+// nodes out of overweight parts until no part exceeds the ideal weight W/k
+// by more than the heaviest single node — the resolution limit of
+// single-node moves, and exactly the old "ideal count + 1" rule on unit
+// weights. Balancing weight rather than node count is what makes the coarse
+// levels of the multilevel pipeline (where node weights are member counts)
+// and weighted workloads come out right. When ev is non-nil its aggregates
+// supply the part weights and are kept in sync with every move; a tracked
+// boundary set additionally replaces the per-move O(V+E) boundary rescans.
 func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
 	n := g.NumNodes()
-	ideal := float64(n) / float64(p.Parts)
+	ideal := g.TotalNodeWeight() / float64(p.Parts)
+	var maxNodeW float64
+	for v := 0; v < n; v++ {
+		if w := g.NodeWeight(v); w > maxNodeW {
+			maxNodeW = w
+		}
+	}
+	var weights []float64
+	if ev != nil {
+		weights = ev.Weights
+	} else {
+		weights = p.PartWeights(g)
+	}
 	for iter := 0; iter < n; iter++ {
-		sizes := p.PartSizes()
 		over, under := -1, -1
-		for q, s := range sizes {
-			if float64(s) > ideal+1 && (over < 0 || s > sizes[over]) {
+		for q, w := range weights {
+			if w > ideal+maxNodeW && (over < 0 || w > weights[over]) {
 				over = q
 			}
-			if under < 0 || s < sizes[under] {
+			if under < 0 || w < weights[under] {
 				under = q
 			}
 		}
@@ -321,11 +345,14 @@ func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
 			return
 		}
 		// Cheapest node of part `over` to move to `under`: maximize
-		// (edges into under) - (edges inside over).
+		// (edges into under) - (edges inside over). Ties go to the smallest
+		// node id, so the pick is deterministic whatever order the boundary
+		// is visited in — which lets the tracked set be consumed unsorted,
+		// O(b) per move with no allocation, instead of re-sorting it.
 		bestV, bestScore := -1, math.Inf(-1)
-		for _, v := range p.BoundaryNodes(g) {
+		consider := func(v int) {
 			if int(p.Assign[v]) != over {
-				continue
+				return
 			}
 			var score float64
 			ws := g.EdgeWeights(v)
@@ -337,8 +364,15 @@ func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
 					score -= ws[i]
 				}
 			}
-			if score > bestScore {
+			if score > bestScore || (score == bestScore && bestV >= 0 && v < bestV) {
 				bestV, bestScore = v, score
+			}
+		}
+		if ev != nil && ev.TracksBoundary() {
+			ev.ForEachBoundary(consider)
+		} else {
+			for _, v := range p.BoundaryNodes(g) {
+				consider(v)
 			}
 		}
 		if bestV < 0 {
@@ -354,9 +388,16 @@ func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
 				return
 			}
 		}
+		// The move strictly shrinks the over/under spread, so the loop cannot
+		// oscillate: over only triggers when W(over) > ideal + maxNodeW,
+		// under never exceeds the ideal (the minimum is at most the mean),
+		// and the moved node weighs at most maxNodeW.
 		if ev != nil {
 			ev.Move(g, p, bestV, under)
 		} else {
+			wv := g.NodeWeight(bestV)
+			weights[over] -= wv
+			weights[under] += wv
 			p.Assign[bestV] = uint16(under)
 		}
 	}

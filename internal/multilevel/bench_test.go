@@ -42,6 +42,6 @@ func BenchmarkBuildHierarchy10k(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := rand.New(rand.NewSource(1))
-		BuildHierarchy(g, 64, 30, rng)
+		BuildHierarchy(g, 64, 30, rng, 1)
 	}
 }

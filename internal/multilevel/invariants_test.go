@@ -22,7 +22,7 @@ import (
 func checkHierarchyInvariants(t *testing.T, g *graph.Graph, seed int64) {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	levels, coarsest := BuildHierarchy(g, 24, 30, rng)
+	levels, coarsest := BuildHierarchy(g, 24, 30, rng, 1)
 	if len(levels) == 0 {
 		t.Fatalf("no coarsening happened on a %d-node graph", g.NumNodes())
 	}

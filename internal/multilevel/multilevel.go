@@ -26,6 +26,7 @@ import (
 	"repro/internal/fm"
 	"repro/internal/graph"
 	"repro/internal/kl"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
@@ -43,27 +44,66 @@ type Level struct {
 // Coarsen collapses g by one level of heavy-edge matching and returns the
 // coarser graph and the fine→coarse map. Node weights add; parallel edges
 // accumulate weight; self-edges (internal to a matched pair) vanish.
+// workers bounds the goroutines used for the matching proposals and the
+// contraction (<= 0 selects GOMAXPROCS); the result is bit-identical for
+// every worker count.
 //
 // Matching visits nodes in random order and pairs each unmatched node with
 // its unmatched neighbor across the heaviest edge — the classic heavy-edge
 // heuristic: hiding heavy edges inside coarse nodes bounds the cut any
 // coarse partition can be forced to pay.
-func Coarsen(g *graph.Graph, rng *rand.Rand) (*graph.Graph, []int) {
+//
+// The expensive half of matching — scanning every adjacency list for the
+// heaviest incident edge — is a pure function of g, so it runs first as a
+// parallel "propose" phase over sharded node ranges. The sequential claim
+// sweep then walks the random order and accepts each node's proposal when
+// the partner is still free; only when the proposal was already claimed
+// does it rescan that node's neighbors for the heaviest still-unmatched
+// one. Because a node's proposal is its earliest heaviest neighbor overall,
+// an unclaimed proposal is exactly the node the serial algorithm would
+// pick, so the sweep reproduces the serial matching bit for bit while the
+// O(E) scan parallelizes.
+func Coarsen(g *graph.Graph, rng *rand.Rand, workers int) (*graph.Graph, []int) {
 	n := g.NumNodes()
 	match := make([]int, n)
 	for i := range match {
 		match[i] = -1
 	}
 	order := rng.Perm(n)
+
+	// Propose phase: pref[v] = v's neighbor across the heaviest edge
+	// (earliest wins ties, matching the serial scan), -1 for isolated nodes.
+	pref := make([]int32, n)
+	par.For(workers, n, func(_, lo, hi int) {
+		for v := lo; v < hi; v++ {
+			bestU, bestW := int32(-1), -1.0
+			ws := g.EdgeWeights(v)
+			for i, u := range g.Neighbors(v) {
+				if ws[i] > bestW {
+					bestU, bestW = u, ws[i]
+				}
+			}
+			pref[v] = bestU
+		}
+	})
+
+	// Claim sweep: sequential in the random order, exactly the serial
+	// algorithm's tie-breaking.
 	for _, v := range order {
 		if match[v] != -1 {
 			continue
 		}
-		bestU, bestW := -1, -1.0
-		ws := g.EdgeWeights(v)
-		for i, u := range g.Neighbors(v) {
-			if match[u] == -1 && ws[i] > bestW {
-				bestU, bestW = int(u), ws[i]
+		bestU := int(pref[v])
+		if bestU >= 0 && match[bestU] != -1 {
+			// Proposal already claimed: fall back to the heaviest neighbor
+			// still unmatched.
+			bestU = -1
+			bestW := -1.0
+			ws := g.EdgeWeights(v)
+			for i, u := range g.Neighbors(v) {
+				if match[u] == -1 && ws[i] > bestW {
+					bestU, bestW = int(u), ws[i]
+				}
 			}
 		}
 		if bestU >= 0 {
@@ -83,7 +123,7 @@ func Coarsen(g *graph.Graph, rng *rand.Rand) (*graph.Graph, []int) {
 			next++
 		}
 	}
-	return graph.Contract(g, coarseOf, next), coarseOf
+	return graph.Contract(g, coarseOf, next, workers), coarseOf
 }
 
 // Refiner selects the per-level refinement algorithm of the uncoarsening
@@ -141,6 +181,9 @@ type Config struct {
 	RefinePasses int
 	// Refiner selects the uncoarsening refinement; default RefineKLFM.
 	Refiner Refiner
+	// Workers bounds the goroutines coarsening and contraction may use;
+	// <= 0 selects GOMAXPROCS. The result is bit-identical for every value.
+	Workers int
 	Seed    int64
 }
 
@@ -160,14 +203,16 @@ func (c *Config) withDefaults() Config {
 
 // BuildHierarchy coarsens g level by level until it has at most
 // coarsestSize nodes, maxLevels is reached, or matching stops making
-// progress. It returns the fine-to-coarse levels (levels[0].Graph == g) and
-// the coarsest graph. Exposed for tests and for benchmarks that inspect the
+// progress, spreading each level's matching and contraction over `workers`
+// goroutines (<= 0 selects GOMAXPROCS; any value gives the same hierarchy).
+// It returns the fine-to-coarse levels (levels[0].Graph == g) and the
+// coarsest graph. Exposed for tests and for benchmarks that inspect the
 // hierarchy.
-func BuildHierarchy(g *graph.Graph, coarsestSize, maxLevels int, rng *rand.Rand) ([]Level, *graph.Graph) {
+func BuildHierarchy(g *graph.Graph, coarsestSize, maxLevels int, rng *rand.Rand, workers int) ([]Level, *graph.Graph) {
 	var levels []Level
 	cur := g
 	for len(levels) < maxLevels && cur.NumNodes() > coarsestSize {
-		coarse, coarseOf := Coarsen(cur, rng)
+		coarse, coarseOf := Coarsen(cur, rng, workers)
 		if coarse.NumNodes() >= cur.NumNodes() {
 			break // matching found nothing to merge
 		}
@@ -190,7 +235,7 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 
-	levels, coarsest := BuildHierarchy(g, c.CoarsestSize, c.MaxLevels, rng)
+	levels, coarsest := BuildHierarchy(g, c.CoarsestSize, c.MaxLevels, rng, c.Workers)
 
 	// Partition the coarsest graph.
 	p, err := inner(coarsest, c.Parts, rng)
@@ -204,10 +249,14 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 	// One Eval for the whole uncoarsening phase: projection preserves part
 	// weights (coarse node weights are member sums) and part cuts (coarse
 	// edge weights are cross-member sums), so the aggregates carry over
-	// verbatim and only refinement moves touch them.
+	// verbatim and only refinement moves touch them. The Eval also tracks
+	// the boundary set, which every refiner seeds its scans from; unlike
+	// the weight/cut aggregates, node identities change across projection,
+	// so the boundary is rebuilt per level (one O(V+E) scan replacing the
+	// per-pass scans the refiners used to pay).
 	var ev *partition.Eval
 	if c.Refiner != RefineNone {
-		ev = partition.NewEval(coarsest, p)
+		ev = partition.NewEvalBoundary(coarsest, p)
 	}
 
 	for i := len(levels) - 1; i >= 0; i-- {
@@ -215,6 +264,9 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 		fine := partition.New(lvl.Graph.NumNodes(), c.Parts)
 		for v := range fine.Assign {
 			fine.Assign[v] = p.Assign[lvl.CoarseOf[v]]
+		}
+		if ev != nil {
+			ev.ResetBoundary(lvl.Graph, fine)
 		}
 		switch c.Refiner {
 		case RefineKLFM:

@@ -16,7 +16,7 @@ import (
 func TestCoarsenHalvesRoughly(t *testing.T) {
 	g := gen.Mesh(200, 1)
 	rng := rand.New(rand.NewSource(2))
-	coarse, coarseOf := Coarsen(g, rng)
+	coarse, coarseOf := Coarsen(g, rng, 1)
 	if coarse.NumNodes() >= g.NumNodes() {
 		t.Fatalf("coarsening did not shrink: %d -> %d", g.NumNodes(), coarse.NumNodes())
 	}
@@ -38,7 +38,7 @@ func TestCoarsenHalvesRoughly(t *testing.T) {
 func TestCoarsenPreservesTotalNodeWeight(t *testing.T) {
 	g := gen.Mesh(150, 3)
 	rng := rand.New(rand.NewSource(4))
-	coarse, _ := Coarsen(g, rng)
+	coarse, _ := Coarsen(g, rng, 1)
 	if math.Abs(coarse.TotalNodeWeight()-g.TotalNodeWeight()) > 1e-9 {
 		t.Errorf("node weight changed: %v -> %v", g.TotalNodeWeight(), coarse.TotalNodeWeight())
 	}
@@ -52,7 +52,7 @@ func TestCoarsenPreservesCutStructure(t *testing.T) {
 	// collapsing preserves total inter-group edge weight.
 	g := gen.Mesh(120, 5)
 	rng := rand.New(rand.NewSource(6))
-	coarse, coarseOf := Coarsen(g, rng)
+	coarse, coarseOf := Coarsen(g, rng, 1)
 	cp := partition.RandomBalanced(coarse.NumNodes(), 4, rng)
 	fp := partition.New(g.NumNodes(), 4)
 	for v := range fp.Assign {
@@ -66,7 +66,7 @@ func TestCoarsenPreservesCutStructure(t *testing.T) {
 func TestCoarsenKeepsConnectivity(t *testing.T) {
 	g := gen.Mesh(100, 7)
 	rng := rand.New(rand.NewSource(8))
-	coarse, _ := Coarsen(g, rng)
+	coarse, _ := Coarsen(g, rng, 1)
 	if !coarse.IsConnected() {
 		t.Error("coarsening disconnected a connected graph")
 	}
@@ -163,7 +163,7 @@ func TestQuickCoarsenConservation(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		n := 20 + rng.Intn(150)
 		g := gen.Mesh(n, seed)
-		coarse, coarseOf := Coarsen(g, rng)
+		coarse, coarseOf := Coarsen(g, rng, 1)
 		if coarse.Validate() != nil || len(coarseOf) != n {
 			return false
 		}
@@ -183,5 +183,51 @@ func TestQuickCoarsenConservation(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestCoarsenWorkersBitIdentical(t *testing.T) {
+	// Coarsening's propose phase is parallel, its claim sweep sequential in
+	// the seeded random order: every worker count must reproduce the same
+	// matching, coarse graph, and fine-to-coarse map bit for bit.
+	g := gen.Mesh(1200, 11)
+	refRng := rand.New(rand.NewSource(7))
+	refCoarse, refMap := Coarsen(g, refRng, 1)
+	for _, workers := range []int{2, 3, 8, 0} {
+		rng := rand.New(rand.NewSource(7))
+		coarse, coarseOf := Coarsen(g, rng, workers)
+		if coarse.NumNodes() != refCoarse.NumNodes() || coarse.NumEdges() != refCoarse.NumEdges() {
+			t.Fatalf("workers=%d: coarse shape %d/%d vs %d/%d", workers,
+				coarse.NumNodes(), coarse.NumEdges(), refCoarse.NumNodes(), refCoarse.NumEdges())
+		}
+		for v := range coarseOf {
+			if coarseOf[v] != refMap[v] {
+				t.Fatalf("workers=%d: node %d maps to %d, reference %d", workers, v, coarseOf[v], refMap[v])
+			}
+		}
+	}
+}
+
+func TestPartitionWorkersBitIdentical(t *testing.T) {
+	// The whole V-cycle — hierarchy, coarse solve, refinement — must be a
+	// pure function of the seed, independent of the pipeline width.
+	g := gen.Mesh(900, 13)
+	for _, ref := range []Refiner{RefineKLFM, RefineKL, RefineFM} {
+		base, err := Partition(g, Config{Parts: 4, Seed: 5, Refiner: ref, Workers: 1}, rsbInner)
+		if err != nil {
+			t.Fatalf("%v: %v", ref, err)
+		}
+		for _, workers := range []int{2, 3, 0} {
+			p, err := Partition(g, Config{Parts: 4, Seed: 5, Refiner: ref, Workers: workers}, rsbInner)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", ref, workers, err)
+			}
+			for v := range p.Assign {
+				if p.Assign[v] != base.Assign[v] {
+					t.Fatalf("%v workers=%d: node %d in part %d, reference %d",
+						ref, workers, v, p.Assign[v], base.Assign[v])
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,77 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 7, 64} {
+		for _, n := range []int{0, 1, 2, 17, 1000} {
+			hits := make([]atomic.Int32, n)
+			For(workers, n, func(_, lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hits[i].Add(1)
+				}
+			})
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForWorkerIDsAreDistinctAndInRange(t *testing.T) {
+	const workers, n = 4, 4096
+	var used [workers]atomic.Int32
+	For(workers, n, func(worker, lo, hi int) {
+		if worker < 0 || worker >= workers {
+			t.Errorf("worker id %d out of range", worker)
+		}
+		used[worker].Add(1)
+	})
+	// Worker 0 (the caller) always participates.
+	if used[0].Load() == 0 {
+		t.Error("calling goroutine never ran a chunk")
+	}
+}
+
+func TestForDeterministicOutput(t *testing.T) {
+	// Writes confined to the owned range must give identical results for any
+	// worker count.
+	const n = 5000
+	ref := make([]int, n)
+	For(1, n, func(_, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ref[i] = i * i
+		}
+	})
+	for _, workers := range []int{2, 3, 8} {
+		out := make([]int, n)
+		For(workers, n, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[i] = i * i
+			}
+		})
+		for i := range out {
+			if out[i] != ref[i] {
+				t.Fatalf("workers=%d: index %d differs", workers, i)
+			}
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d", got)
+	}
+}

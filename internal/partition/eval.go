@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"sort"
+
 	"repro/internal/graph"
 )
 
@@ -10,11 +12,28 @@ import (
 // Eval per individual: crossover offspring pay one fused O(V+E) scan, while
 // mutation and boundary hill climbing apply incremental deltas.
 //
+// An Eval can additionally maintain the partition's boundary set — the nodes
+// with at least one neighbor in another part — incrementally through Move
+// (see NewEvalBoundary). Refiners seed their scans from that set instead of
+// rescanning all n nodes, which is what makes per-level refinement in the
+// multilevel pipeline output-sensitive. Tracking is opt-in because it costs
+// O(n) memory and O(deg) extra work per move; the GA's per-individual Evals
+// never ask for it.
+//
 // An Eval is only meaningful together with the partition it was built from
 // (or has tracked through Move calls); callers own keeping the pair in sync.
 type Eval struct {
 	Weights []float64 // W(q): total node weight of part q
 	Cuts    []float64 // C(q): total weight of edges with exactly one endpoint in q
+
+	// Boundary tracking (enabled by NewEvalBoundary / ResetBoundary).
+	// extDeg[v] counts v's neighbors assigned to a different part; v is on
+	// the boundary iff extDeg[v] > 0. bnodes holds the boundary members in
+	// arbitrary order; bpos[v]-1 is v's index in bnodes (0 = absent), the
+	// classic indexed-set layout giving O(1) insert and delete.
+	extDeg []int32
+	bnodes []int32
+	bpos   []int32
 }
 
 // NewEval scans g once and returns the aggregates of p. The accumulation
@@ -42,12 +61,116 @@ func NewEval(g *graph.Graph, p *Partition) *Eval {
 	return ev
 }
 
-// Clone deep-copies the aggregates.
+// NewEvalBoundary is NewEval with boundary tracking enabled: the returned
+// Eval additionally knows the partition's boundary set and keeps it exact
+// through every Move.
+func NewEvalBoundary(g *graph.Graph, p *Partition) *Eval {
+	ev := NewEval(g, p)
+	ev.ResetBoundary(g, p)
+	return ev
+}
+
+// ResetBoundary (re)builds the boundary structures for the given graph and
+// partition in one O(V+E) scan, enabling tracking if it was off. The
+// multilevel pipeline calls this after projecting a partition to a finer
+// level: part weights and cuts carry over projection verbatim, but node
+// identities do not, so the boundary set must be rebuilt per level.
+func (ev *Eval) ResetBoundary(g *graph.Graph, p *Partition) {
+	n := g.NumNodes()
+	if cap(ev.extDeg) >= n {
+		ev.extDeg = ev.extDeg[:n]
+		ev.bpos = ev.bpos[:n]
+		for i := range ev.extDeg {
+			ev.extDeg[i] = 0
+			ev.bpos[i] = 0
+		}
+	} else {
+		ev.extDeg = make([]int32, n)
+		ev.bpos = make([]int32, n)
+	}
+	ev.bnodes = ev.bnodes[:0]
+	a := p.Assign
+	for v := 0; v < n; v++ {
+		var ext int32
+		for _, u := range g.Neighbors(v) {
+			if a[u] != a[v] {
+				ext++
+			}
+		}
+		ev.extDeg[v] = ext
+		if ext > 0 {
+			ev.bnodes = append(ev.bnodes, int32(v))
+			ev.bpos[v] = int32(len(ev.bnodes))
+		}
+	}
+}
+
+// TracksBoundary reports whether this Eval maintains the boundary set.
+func (ev *Eval) TracksBoundary() bool { return ev.extDeg != nil }
+
+// Boundary returns the tracked boundary nodes in increasing order. The cost
+// is O(b log b) in the boundary size b — output-sensitive, never O(n) — so
+// refiners may call it once per pass. It panics if tracking is not enabled.
+func (ev *Eval) Boundary() []int {
+	if ev.extDeg == nil {
+		panic("partition: Boundary called on Eval without boundary tracking")
+	}
+	out := make([]int, len(ev.bnodes))
+	for i, v := range ev.bnodes {
+		out[i] = int(v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ForEachBoundary calls fn for every tracked boundary node in unspecified
+// order, without allocating or sorting — the right shape for argmax scans
+// (callers wanting deterministic results break ties on node id themselves).
+// fn must not trigger Move or ResetBoundary. It panics if tracking is not
+// enabled.
+func (ev *Eval) ForEachBoundary(fn func(v int)) {
+	if ev.extDeg == nil {
+		panic("partition: ForEachBoundary called on Eval without boundary tracking")
+	}
+	for _, v := range ev.bnodes {
+		fn(int(v))
+	}
+}
+
+// boundaryInsert adds v to the boundary set if absent.
+func (ev *Eval) boundaryInsert(v int) {
+	if ev.bpos[v] == 0 {
+		ev.bnodes = append(ev.bnodes, int32(v))
+		ev.bpos[v] = int32(len(ev.bnodes))
+	}
+}
+
+// boundaryRemove deletes v from the boundary set if present (swap-delete).
+func (ev *Eval) boundaryRemove(v int) {
+	i := ev.bpos[v]
+	if i == 0 {
+		return
+	}
+	last := ev.bnodes[len(ev.bnodes)-1]
+	ev.bnodes[i-1] = last
+	ev.bpos[last] = i
+	ev.bnodes = ev.bnodes[:len(ev.bnodes)-1]
+	ev.bpos[v] = 0
+}
+
+// Clone deep-copies the aggregates (and the boundary structures, when
+// tracking is enabled).
 func (ev *Eval) Clone() *Eval {
-	return &Eval{
+	out := &Eval{
 		Weights: append([]float64(nil), ev.Weights...),
 		Cuts:    append([]float64(nil), ev.Cuts...),
 	}
+	if ev.extDeg != nil {
+		out.extDeg = append([]int32(nil), ev.extDeg...)
+		out.bnodes = append([]int32(nil), ev.bnodes...)
+		out.bpos = append([]int32(nil), ev.bpos...)
+	}
+	return out
 }
 
 // Move reassigns node v of p to part `to`, updating both the partition and
@@ -61,22 +184,48 @@ func (ev *Eval) Move(g *graph.Graph, p *Partition, v, to int) {
 	wv := g.NodeWeight(v)
 	ev.Weights[from] -= wv
 	ev.Weights[to] += wv
+	track := ev.extDeg != nil
 	var wFrom, wTo, wOther float64
+	var extV int32
 	ws := g.EdgeWeights(v)
 	for i, u := range g.Neighbors(v) {
 		switch int(p.Assign[u]) {
 		case from:
 			wFrom += ws[i]
+			if track {
+				// Edge {v,u} was internal and becomes external.
+				extV++
+				if ev.extDeg[u]++; ev.extDeg[u] == 1 {
+					ev.boundaryInsert(int(u))
+				}
+			}
 		case to:
 			wTo += ws[i]
+			if track {
+				// Edge {v,u} was external and becomes internal.
+				if ev.extDeg[u]--; ev.extDeg[u] == 0 {
+					ev.boundaryRemove(int(u))
+				}
+			}
 		default:
 			wOther += ws[i]
+			if track {
+				extV++ // external before and after
+			}
 		}
 	}
 	// Edges into `from` become cut, edges into `to` become internal, edges
 	// into other parts transfer between C(from) and C(to).
 	ev.Cuts[from] += wFrom - wTo - wOther
 	ev.Cuts[to] += wFrom - wTo + wOther
+	if track {
+		ev.extDeg[v] = extV
+		if extV > 0 {
+			ev.boundaryInsert(v)
+		} else {
+			ev.boundaryRemove(v)
+		}
+	}
 	p.Assign[v] = uint16(to)
 }
 
