@@ -16,6 +16,11 @@
 //	experiments -bench -suite small -json out.json
 //	experiments -bench -suite small -json out.json -baseline bench/baseline.json -tol 0.10
 //	experiments -bench -suite scale -algos kl,multilevel-kl -json bench.json
+//
+// Instead of a generated suite, -in benchmarks a graph file (METIS,
+// edge-list, or native text, via internal/gio):
+//
+//	experiments -bench -in web.metis -parts 8 -algos kl,multilevel-kl
 package main
 
 import (
@@ -23,12 +28,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"repro/internal/algo"
 	"repro/internal/bench"
 	"repro/internal/gen"
+	"repro/internal/gio"
 	"repro/internal/paperdata"
 )
 
@@ -45,7 +52,10 @@ func main() {
 		workers = flag.Int("evalworkers", 0, "parallel fitness-evaluation goroutines per engine (0 = auto; results are identical for any value)")
 
 		doBench   = flag.Bool("bench", false, "run the machine-readable benchmark suite instead of tables/figures")
-		suite     = flag.String("suite", "small", "benchmark suite: small | scale | diverse")
+		suite     = flag.String("suite", "small", "benchmark suite: small | scale | diverse | weighted")
+		inPath    = flag.String("in", "", "benchmark a graph file instead of a generated suite (format from extension, or -informat)")
+		inFormat  = flag.String("informat", "auto", "input graph format for -in: auto | metis | edgelist | text")
+		parts     = flag.Int("parts", 8, "part count for -in")
 		algos     = flag.String("algos", "", "comma-separated registry names to benchmark (default: the deterministic set)")
 		jsonPath  = flag.String("json", "", "write the benchmark report as JSON to this file")
 		baseline  = flag.String("baseline", "", "compare cuts against this baseline report; exit 1 on regression")
@@ -59,6 +69,9 @@ func main() {
 	if *doBench {
 		runBench(benchRun{
 			suite:    *suite,
+			inPath:   *inPath,
+			inFormat: *inFormat,
+			parts:    *parts,
 			algoCSV:  *algos,
 			jsonPath: *jsonPath,
 			baseline: *baseline,
@@ -137,6 +150,9 @@ func emitTable(out io.Writer, id int, opt bench.Options) {
 // benchRun bundles the benchmark-mode flags.
 type benchRun struct {
 	suite    string
+	inPath   string // when set, benchmark this file instead of a suite
+	inFormat string
+	parts    int
 	algoCSV  string
 	jsonPath string
 	baseline string
@@ -153,9 +169,26 @@ type benchRun struct {
 // otherwise any (case, algo) cut — or a case's best cut — regressing beyond
 // tol fails.
 func runBench(cfg benchRun) {
-	cases, err := bench.SuiteByName(cfg.suite)
-	if err != nil {
-		fail(err)
+	var cases []bench.Case
+	suiteName := cfg.suite
+	if cfg.inPath != "" {
+		f, err := gio.FormatByName(cfg.inFormat)
+		if err != nil {
+			fail(err)
+		}
+		g, err := gio.ReadGraphFile(cfg.inPath, f)
+		if err != nil {
+			fail(err)
+		}
+		name := fmt.Sprintf("%s-p%d", filepath.Base(cfg.inPath), cfg.parts)
+		suiteName = "file"
+		cases = []bench.Case{{Name: name, Graph: g, Parts: cfg.parts}}
+	} else {
+		var err error
+		cases, err = bench.SuiteByName(cfg.suite)
+		if err != nil {
+			fail(err)
+		}
 	}
 	names := bench.DefaultJSONAlgos()
 	if cfg.algoCSV != "" {
@@ -173,7 +206,7 @@ func runBench(cfg benchRun) {
 	}
 	opt := algo.Options{Seed: gen.SuiteSeed, EvalWorkers: cfg.evalW, Workers: cfg.workers}
 	start := time.Now()
-	rep := bench.RunJSON(cfg.suite, cases, names, opt, cfg.repeat)
+	rep := bench.RunJSON(suiteName, cases, names, opt, cfg.repeat)
 	for _, r := range rep.Results {
 		if r.Error != "" {
 			fmt.Printf("%-16s %-15s skipped: %s\n", r.Case, r.Algo, r.Error)
@@ -183,7 +216,7 @@ func runBench(cfg benchRun) {
 			r.Case, r.Algo, r.Cut, r.Balance, time.Duration(r.NsPerOp))
 	}
 	fmt.Printf("benchmark suite %q: %d results in %s\n",
-		cfg.suite, len(rep.Results), time.Since(start).Round(time.Millisecond))
+		suiteName, len(rep.Results), time.Since(start).Round(time.Millisecond))
 
 	if cfg.jsonPath != "" {
 		f, err := os.Create(cfg.jsonPath)

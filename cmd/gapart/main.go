@@ -3,16 +3,18 @@
 //
 // Usage:
 //
-//	gapart -graph mesh.g -algo dknux -parts 8 [-objective worst] [-gens 200]
+//	gapart -in mesh.g -algo dknux -parts 8 [-objective worst] [-gens 200]
+//	gapart -in web.metis -informat metis -algo multilevel-kl -parts 8
 //	gapart -mesh 10000 -algo multilevel-kl -parts 8
 //	gapart -list
 //
-// The input graph is either read from a file (-graph; the native text
-// format, or METIS/Chaco for .metis/.graph suffixes) or generated from the
-// deterministic benchmark suite (-mesh N). Algorithms are selected by
-// registry name; -list prints every name with its description and
-// constraints. The partition is written as "node part" lines with -out and
-// rendered as SVG with -svg.
+// The input graph is either read from a file (-in; METIS/Chaco, edge-list,
+// or the native text format, detected from the extension or forced with
+// -informat) or generated from the deterministic benchmark suite (-mesh N).
+// Algorithms are selected by registry name; -list prints every name with its
+// description and constraints. The partition is written as a METIS-style
+// partition vector (one part id per line) with -out and rendered as SVG
+// with -svg.
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"repro/internal/algo"
 	"repro/internal/gen"
+	"repro/internal/gio"
 	"repro/internal/graph"
 	"repro/internal/partition"
 	"repro/internal/viz"
@@ -30,7 +33,9 @@ import (
 
 func main() {
 	var (
-		graphPath = flag.String("graph", "", "graph file in the text format (see package graph)")
+		inPath    = flag.String("in", "", "input graph file (format from extension, or -informat)")
+		graphPath = flag.String("graph", "", "alias for -in (kept for compatibility)")
+		inFormat  = flag.String("informat", "auto", "input graph format: auto | metis | edgelist | text")
 		meshN     = flag.Int("mesh", 0, "generate a benchmark mesh with this many nodes instead of reading a file")
 		algoName  = flag.String("algo", "dknux", "algorithm registry name (see -list)")
 		list      = flag.Bool("list", false, "print the registered algorithms and exit")
@@ -44,7 +49,7 @@ func main() {
 		passes    = flag.Int("passes", 0, "refinement passes for kl/fm/multilevel (0 = algorithm default)")
 		coarsest  = flag.Int("coarsest", 0, "multilevel: stop coarsening at this many nodes (0 = default)")
 		seed      = flag.Int64("seed", 1994, "random seed")
-		outPath   = flag.String("out", "", "write the partition as 'node part' lines to this file")
+		outPath   = flag.String("out", "", "write the partition vector (one part id per line) to this file")
 		svgPath   = flag.String("svg", "", "render the partitioned graph as SVG to this file")
 	)
 	flag.Parse()
@@ -54,7 +59,11 @@ func main() {
 		return
 	}
 
-	g, err := loadGraph(*graphPath, *meshN)
+	path := *inPath
+	if path == "" {
+		path = *graphPath
+	}
+	g, err := loadGraph(path, *inFormat, *meshN)
 	if err != nil {
 		fatal(err)
 	}
@@ -88,8 +97,8 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		for v, q := range p.Assign {
-			fmt.Fprintf(f, "%d %d\n", v, q)
+		if err := gio.WritePartition(f, p); err != nil {
+			fatal(err)
 		}
 	}
 	if *svgPath != "" {
@@ -130,26 +139,20 @@ func listAlgorithms() {
 	}
 }
 
-func loadGraph(path string, meshN int) (*graph.Graph, error) {
+func loadGraph(path, format string, meshN int) (*graph.Graph, error) {
 	switch {
 	case path != "" && meshN != 0:
-		return nil, fmt.Errorf("use either -graph or -mesh, not both")
+		return nil, fmt.Errorf("use either -in or -mesh, not both")
 	case path != "":
-		f, err := os.Open(path)
+		f, err := gio.FormatByName(format)
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
-		// .metis / .graph files use the METIS/Chaco format; everything else
-		// the native text format.
-		if strings.HasSuffix(path, ".metis") || strings.HasSuffix(path, ".graph") {
-			return graph.ReadMETIS(f)
-		}
-		return graph.Read(f)
+		return gio.ReadGraphFile(path, f)
 	case meshN >= 3:
 		return gen.Mesh(meshN, gen.SuiteSeed+int64(meshN)), nil
 	default:
-		return nil, fmt.Errorf("need -graph FILE or -mesh N (N >= 3)")
+		return nil, fmt.Errorf("need -in FILE or -mesh N (N >= 3)")
 	}
 }
 

@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	graphgen -suite -dir graphs/        # the full paper suite
-//	graphgen -mesh 167 > mesh167.g      # one mesh to stdout
-//	graphgen -grid 8x8 > grid.g         # structured grid
-//	graphgen -incremental 118+21 -dir . # base and grown mesh of one case
+//	graphgen -suite -dir graphs/                # the full paper suite
+//	graphgen -mesh 167 > mesh167.g              # one mesh to stdout
+//	graphgen -mesh 167 -format metis > m.metis  # METIS, for partd and external tools
+//	graphgen -grid 8x8 > grid.g                 # structured grid
+//	graphgen -incremental 118+21 -dir .         # base and grown mesh of one case
+//
+// -format selects the output encoding (text | metis | edgelist); -suite and
+// -incremental name their files with the matching extension so partd,
+// gapart -in, and external METIS tooling consume them directly.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 	"strings"
 
 	"repro/internal/gen"
+	"repro/internal/gio"
 	"repro/internal/graph"
 )
 
@@ -29,26 +35,43 @@ func main() {
 		incr   = flag.String("incremental", "", "emit an incremental case, e.g. 118+21")
 		domain = flag.String("domain", "", "emit a non-convex domain mesh: lshape|annulus (use with -nodes)")
 		nodes  = flag.Int("nodes", 150, "node count for -domain")
-		metis  = flag.Bool("metis", false, "emit METIS/Chaco format instead of the native text format")
+		format = flag.String("format", "text", "output format: text | metis | edgelist")
+		metis  = flag.Bool("metis", false, "deprecated alias for -format metis")
 		dir    = flag.String("dir", ".", "output directory for -suite and -incremental")
 	)
 	flag.Parse()
 
+	outFormat, err := gio.FormatByName(*format)
+	if err != nil {
+		fatal(err)
+	}
+	if *metis {
+		outFormat = gio.FormatMETIS
+	}
+	if outFormat == gio.FormatAuto {
+		outFormat = gio.FormatText
+	}
+	ext := map[gio.Format]string{
+		gio.FormatText: ".g", gio.FormatMETIS: ".metis", gio.FormatEdgeList: ".el",
+	}[outFormat]
+
 	emit := func(g *graph.Graph) {
-		var err error
-		if *metis {
-			err = g.WriteMETIS(os.Stdout)
-		} else {
-			_, err = g.WriteTo(os.Stdout)
-		}
-		if err != nil {
+		if err := gio.WriteGraph(outFormat, os.Stdout, g); err != nil {
 			fatal(err)
 		}
+	}
+	writeGraph := func(path string, g *graph.Graph) error {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return gio.WriteGraph(outFormat, f, g)
 	}
 	switch {
 	case *suite:
 		for _, n := range gen.PaperSizes {
-			path := filepath.Join(*dir, fmt.Sprintf("mesh%03d.g", n))
+			path := filepath.Join(*dir, fmt.Sprintf("mesh%03d%s", n, ext))
 			if err := writeGraph(path, gen.PaperGraph(n)); err != nil {
 				fatal(err)
 			}
@@ -79,8 +102,8 @@ func main() {
 			fatal(fmt.Errorf("bad -incremental %q, want BASE+ADDED", *incr))
 		}
 		base, grown := gen.IncrementalPair(gen.IncrementalCase{Base: b, Added: a})
-		basePath := filepath.Join(*dir, fmt.Sprintf("mesh%03d_base.g", b))
-		grownPath := filepath.Join(*dir, fmt.Sprintf("mesh%03d_plus%02d.g", b, a))
+		basePath := filepath.Join(*dir, fmt.Sprintf("mesh%03d_base%s", b, ext))
+		grownPath := filepath.Join(*dir, fmt.Sprintf("mesh%03d_plus%02d%s", b, a, ext))
 		if err := writeGraph(basePath, base); err != nil {
 			fatal(err)
 		}
@@ -92,16 +115,6 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-}
-
-func writeGraph(path string, g *graph.Graph) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	_, err = g.WriteTo(f)
-	return err
 }
 
 func fatal(err error) {

@@ -1,0 +1,92 @@
+// Command partd is the partition-as-a-service daemon: an HTTP JSON API over
+// the unified algorithm registry, with a bounded worker pool and a
+// content-addressed result cache (see internal/service).
+//
+// Usage:
+//
+//	partd -addr :8080 -workers 4 -cache 512
+//
+// Endpoints:
+//
+//	POST /v1/partition      submit a METIS/edge-list/text graph for partitioning
+//	GET  /v1/jobs/{id}      poll a job (?wait=1 blocks until it completes)
+//	GET  /v1/algos          the algorithm registry with declared constraints
+//	GET  /v1/stats          worker, job, and cache counters
+//
+// See README.md for the request schema and an example curl session. The
+// daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests and
+// running jobs finish, queued jobs fail with a shutdown error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file once serving (for scripts using -addr :0)")
+		workers  = flag.Int("workers", 0, "concurrent partition computations (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", 0, "result cache capacity in entries (0 = default 256)")
+		jobPar   = flag.Int("job-parallelism", 0, "per-computation worker width; never changes results (0 = auto)")
+	)
+	flag.Parse()
+
+	// Install signal handling before anything announces readiness: scripts
+	// kill the daemon as soon as the addr file appears, and a SIGTERM
+	// racing ahead of the handler would hit the default disposition and
+	// skip the graceful path.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	engine := service.New(service.Config{
+		Workers:        *workers,
+		CacheEntries:   *cache,
+		JobParallelism: *jobPar,
+	})
+	srv := &http.Server{
+		Handler:           service.NewHandler(engine),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("partd: %v", err)
+	}
+	log.Printf("partd: listening on %s", ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("partd: writing -addr-file: %v", err)
+		}
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("partd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("partd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("partd: shutdown: %v", err)
+	}
+	engine.Close()
+	s := engine.Stats()
+	fmt.Printf("partd: served %d jobs (%d computed, %d failed, %d cache hits, %d coalesced, %d evictions)\n",
+		s.JobsSubmitted, s.JobsDone, s.JobsFailed, s.CacheHits, s.Coalesced, s.CacheEvictions)
+}

@@ -93,6 +93,19 @@ func DiverseSuite() []Case {
 	}
 }
 
+// WeightedSuite exercises skewed node weights end to end, making the
+// weight-aware contracts (kl.Rebalance balancing weight rather than node
+// count, weighted coarse levels) load-bearing in CI: a regression to
+// count-based balancing moves cuts and balance on these cases immediately.
+// Weights follow a Zipf law — a few nodes tens of times heavier than the
+// unit majority.
+func WeightedSuite() []Case {
+	return []Case{
+		{Name: "mesh-2000-skew-p8", Graph: gen.SkewWeights(gen.Mesh(2000, gen.SuiteSeed+2000), gen.SuiteSeed, 48), Parts: 8},
+		{Name: "grid3d-10-skew-p4", Graph: gen.SkewWeights(gen.Grid3D(10, 10, 10), gen.SuiteSeed+1, 32), Parts: 4},
+	}
+}
+
 // SuiteByName maps the -suite flag to a suite constructor.
 func SuiteByName(name string) ([]Case, error) {
 	switch name {
@@ -102,8 +115,10 @@ func SuiteByName(name string) ([]Case, error) {
 		return ScaleSuite(), nil
 	case "diverse":
 		return DiverseSuite(), nil
+	case "weighted":
+		return WeightedSuite(), nil
 	default:
-		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale, diverse)", name)
+		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale, diverse, weighted)", name)
 	}
 }
 

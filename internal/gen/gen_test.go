@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestGridStructure(t *testing.T) {
@@ -130,6 +131,66 @@ func TestRandomGeometricConnected(t *testing.T) {
 	if err := g.Validate(); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// The bucketed neighbor search must produce exactly the pair-scan edge set:
+// for every pair, adjacency iff distance <= radius (modulo the stitching
+// edges, which only ever join distinct components). Checked at the diverse
+// suite's rgg-2000 parameters so the committed bench baselines stay valid.
+func TestRandomGeometricMatchesPairScan(t *testing.T) {
+	const n, radius = 2000, 0.05
+	rng := rand.New(rand.NewSource(SuiteSeed + 2000))
+	g := RandomGeometric(rng, n, radius)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r2 := radius * radius
+	missing := 0
+	for i := 0; i < n; i++ {
+		pi := g.Coord(i)
+		for j := i + 1; j < n; j++ {
+			pj := g.Coord(j)
+			d2 := (pi.X-pj.X)*(pi.X-pj.X) + (pi.Y-pj.Y)*(pi.Y-pj.Y)
+			switch {
+			case d2 <= r2 && !g.HasEdge(i, j):
+				t.Fatalf("pair {%d,%d} within radius but not adjacent", i, j)
+			case d2 > r2 && g.HasEdge(i, j):
+				// Allowed only for stitching edges; count and bound them.
+				missing++
+			}
+		}
+	}
+	if missing > 20 {
+		t.Errorf("%d beyond-radius edges; stitching should add only a handful", missing)
+	}
+}
+
+// The ROADMAP's streaming-scale prerequisite: a 100k-node random geometric
+// graph must generate in seconds, not the minutes the O(n²) pair scan took.
+// The wall-clock bound is deliberately loose (CI machines vary); the real
+// regression guard is that quadratic behavior would blow far past it.
+func TestRandomGeometric100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node generation in -short mode")
+	}
+	const n = 100_000
+	start := time.Now()
+	rng := rand.New(rand.NewSource(SuiteSeed + n))
+	g := RandomGeometric(rng, n, 0.005)
+	elapsed := time.Since(start)
+	if g.NumNodes() != n {
+		t.Fatalf("generated %d nodes", g.NumNodes())
+	}
+	if !g.IsConnected() {
+		t.Error("not connected")
+	}
+	if avgDeg := 2 * float64(g.NumEdges()) / n; avgDeg < 4 || avgDeg > 12 {
+		t.Errorf("average degree %.1f outside the expected RGG band", avgDeg)
+	}
+	if elapsed > 20*time.Second {
+		t.Errorf("100k-node generation took %s; the grid-bucketed search should stay in single-digit seconds", elapsed)
+	}
+	t.Logf("100k nodes, %d edges in %s", g.NumEdges(), elapsed)
 }
 
 func TestRefineAddsExactlyK(t *testing.T) {

@@ -1,0 +1,160 @@
+package gio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/graph"
+)
+
+// Edge-list format: one undirected edge per line as "u v" or "u v weight",
+// endpoints 0-indexed, in either orientation. Blank lines and lines starting
+// with '#' or '%' are ignored. The node count is the maximum endpoint + 1
+// (trailing isolated nodes are not representable; use METIS or the native
+// text format for those). Node weights are all 1.
+
+// MaxEdgeListNode bounds edge-list node ids. The node count is max id + 1
+// and the CSR arrays are allocated from it, so without a bound a dozen-byte
+// upload naming node 2e9 would force a multi-gigabyte allocation.
+const MaxEdgeListNode = 1<<24 - 1
+
+// ReadEdgeList parses an edge list, accumulating the endpoint triples in
+// flat slices and counting-sorting them into CSR — no adjacency map. Self
+// loops, negative ids, ids above MaxEdgeListNode, ids above 2^20 that are
+// too sparse for the edge count (the CSR arrays are sized by max id + 1),
+// duplicate edges (in either orientation), and non-positive weights are
+// errors.
+func ReadEdgeList(r io.Reader) (*graph.Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<24)
+	var us, vs []int32
+	var ws []float64
+	n := 0
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		f := fielder{s: sc.Text()}
+		tok, ok := f.next()
+		if !ok || tok[0] == '#' || tok[0] == '%' {
+			continue
+		}
+		u, err := strconv.Atoi(tok)
+		if err != nil || u < 0 || u > MaxEdgeListNode {
+			return nil, fmt.Errorf("gio: edge list line %d: bad endpoint %q", lineNo, tok)
+		}
+		tok, ok = f.next()
+		if !ok {
+			return nil, fmt.Errorf("gio: edge list line %d: missing second endpoint", lineNo)
+		}
+		v, err := strconv.Atoi(tok)
+		if err != nil || v < 0 || v > MaxEdgeListNode {
+			return nil, fmt.Errorf("gio: edge list line %d: bad endpoint %q", lineNo, tok)
+		}
+		if u == v {
+			return nil, fmt.Errorf("gio: edge list line %d: self loop at node %d", lineNo, u)
+		}
+		w := 1.0
+		if tok, ok = f.next(); ok {
+			w, err = parseWeight(tok)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("gio: edge list line %d: bad weight %q", lineNo, tok)
+			}
+			if _, extra := f.next(); extra {
+				return nil, fmt.Errorf("gio: edge list line %d: trailing fields", lineNo)
+			}
+		}
+		us = append(us, int32(u))
+		vs = append(vs, int32(v))
+		ws = append(ws, w)
+		if u >= n {
+			n = u + 1
+		}
+		if v >= n {
+			n = v + 1
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gio: edge list: %w", err)
+	}
+	if len(us) == 0 {
+		return nil, fmt.Errorf("gio: edge list: no edges")
+	}
+	// The CSR arrays are sized by max id + 1, so huge ids must be backed by
+	// enough edges: a tiny upload naming node 2^24 must not cost hundreds
+	// of MB of allocations. Ids below 2^20 are always accepted (sparse
+	// original ids in subgraph extracts are common and cost at most ~20 MB
+	// of scaffolding); beyond that, ids must be dense — any graph without
+	// isolated nodes satisfies n <= 2m.
+	if maxN := 2*len(us) + 64; n > 1<<20 && n > maxN {
+		return nil, fmt.Errorf("gio: edge list: node id %d too sparse for %d edges (ids above %d must satisfy max id < 2*edges + 64)", n-1, len(us), 1<<20)
+	}
+
+	// Counting sort into CSR: degree pass, prefix sum, fill, per-row sort.
+	m := len(us)
+	offsets := make([]int32, n+1)
+	for i := 0; i < m; i++ {
+		offsets[us[i]+1]++
+		offsets[vs[i]+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	adj := make([]int32, 2*m)
+	ew := make([]float64, 2*m)
+	cursor := make([]int32, n)
+	copy(cursor, offsets[:n])
+	for i := 0; i < m; i++ {
+		u, v, w := us[i], vs[i], ws[i]
+		adj[cursor[u]], ew[cursor[u]] = v, w
+		cursor[u]++
+		adj[cursor[v]], ew[cursor[v]] = u, w
+		cursor[v]++
+	}
+	nw := make([]float64, n)
+	for v := range nw {
+		nw[v] = 1
+	}
+	for v := 0; v < n; v++ {
+		row := adj[offsets[v]:offsets[v+1]]
+		graph.SortAdjacency(row, ew[offsets[v]:offsets[v+1]])
+		for i := 1; i < len(row); i++ {
+			if row[i-1] == row[i] {
+				return nil, fmt.Errorf("gio: edge list: duplicate edge {%d,%d}", v, row[i])
+			}
+		}
+	}
+	g, err := graph.FromCSR(offsets, adj, ew, nw, nil)
+	if err != nil {
+		return nil, fmt.Errorf("gio: edge list: %w", err)
+	}
+	return g, nil
+}
+
+// WriteEdgeList serializes g as an edge list in canonical (u, v) order with
+// u < v. Unit weights are omitted so unweighted graphs stay two columns.
+func WriteEdgeList(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# %d nodes %d edges\n", g.NumNodes(), g.NumEdges()); err != nil {
+		return err
+	}
+	var outerErr error
+	g.Edges(func(u, v int, wt float64) bool {
+		var err error
+		if wt == 1 {
+			_, err = fmt.Fprintf(bw, "%d %d\n", u, v)
+		} else {
+			_, err = fmt.Fprintf(bw, "%d %d %g\n", u, v, wt)
+		}
+		if err != nil {
+			outerErr = err
+			return false
+		}
+		return true
+	})
+	if outerErr != nil {
+		return outerErr
+	}
+	return bw.Flush()
+}

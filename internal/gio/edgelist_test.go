@@ -1,0 +1,124 @@
+package gio
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/partition"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	b := graph.NewBuilder(40)
+	for u := 0; u < 40; u++ {
+		for v := u + 1; v < 40; v++ {
+			if rng.Float64() < 0.15 {
+				b.AddEdge(u, v, float64(1+rng.Intn(5)))
+			}
+		}
+	}
+	g := b.Build()
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameGraph(t, g, g2)
+}
+
+func TestEdgeListParsesLooseInput(t *testing.T) {
+	in := "# header comment\n% other comment style\n1 0\n\n 2 1 \n0 2 3.0\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 3 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+	if w := g.EdgeWeightBetween(0, 2); w != 3 {
+		t.Errorf("edge {0,2} weight %v", w)
+	}
+	if w := g.EdgeWeightBetween(0, 1); w != 1 {
+		t.Errorf("edge {0,1} weight %v", w)
+	}
+}
+
+// Subgraph extracts keep their original (sparse) node ids; below the 2^20
+// floor they must parse even when far sparser than 2*edges.
+func TestEdgeListSparseIdsBelowFloorAccepted(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("500000 500001\n700000 500000\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 700001 || g.NumEdges() != 2 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestPartitionRoundTrip(t *testing.T) {
+	p := &partition.Partition{Assign: []uint16{0, 2, 1, 1, 3, 0}, Parts: 4}
+	var buf bytes.Buffer
+	if err := WritePartition(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPartition(bytes.NewReader(buf.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Parts != 4 || len(got.Assign) != 6 {
+		t.Fatalf("got %d parts, %d nodes", got.Parts, len(got.Assign))
+	}
+	for i, q := range p.Assign {
+		if got.Assign[i] != q {
+			t.Fatalf("node %d: part %d != %d", i, got.Assign[i], q)
+		}
+	}
+	// Explicit parts override: empty trailing parts survive.
+	got8, err := ReadPartition(bytes.NewReader(buf.Bytes()), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got8.Parts != 8 {
+		t.Fatalf("explicit parts ignored: %d", got8.Parts)
+	}
+}
+
+func TestReadGraphFileDetectsFormat(t *testing.T) {
+	g := func() *graph.Graph {
+		b := graph.NewBuilder(3)
+		b.AddEdge(0, 1, 1)
+		b.AddEdge(1, 2, 1)
+		return b.Build()
+	}()
+	dir := t.TempDir()
+	for _, c := range []struct {
+		name   string
+		format Format
+	}{
+		{"g.metis", FormatMETIS},
+		{"g.el", FormatEdgeList},
+		{"g.g", FormatText},
+	} {
+		var buf bytes.Buffer
+		if err := WriteGraph(c.format, &buf, g); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, c.name)
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadGraphFile(path, FormatAuto)
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		assertSameGraph(t, g, got)
+	}
+}

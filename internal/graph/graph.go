@@ -303,6 +303,47 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
+// FromCSR assembles a Graph directly from CSR arrays, taking ownership of
+// every slice passed in. offsets must have length n+1, adj and edgeWeight
+// length offsets[n], and nodeWeight length n; coords may be nil or length n.
+// Adjacency lists must already be strictly sorted and symmetric (every edge
+// stored from both endpoints with equal weight) — FromCSR validates the
+// result and rejects anything malformed rather than repairing it.
+//
+// This is the entry point for streaming deserializers (internal/gio) that
+// build the CSR arrays without going through Builder's edge map; it is O(m
+// log deg) for the validation pass and allocates nothing beyond the Graph
+// header.
+func FromCSR(offsets, adj []int32, edgeWeight, nodeWeight []float64, coords []Point) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: FromCSR needs offsets of length n+1, got 0")
+	}
+	n := len(offsets) - 1
+	if int(offsets[0]) != 0 || int(offsets[n]) != len(adj) {
+		return nil, fmt.Errorf("graph: FromCSR offsets span [%d,%d], adjacency has %d entries",
+			offsets[0], offsets[n], len(adj))
+	}
+	g := &Graph{
+		offsets:    offsets,
+		adj:        adj,
+		edgeWeight: edgeWeight,
+		nodeWeight: nodeWeight,
+		numEdges:   len(adj) / 2,
+		coords:     coords,
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SortAdjacency sorts neighbor indices idx (with parallel weights wts) in
+// increasing order. Deserializers use it to canonicalize each CSR row before
+// handing the arrays to FromCSR.
+func SortAdjacency(idx []int32, wts []float64) {
+	sort.Sort(&adjSorter{idx, wts})
+}
+
 type adjSorter struct {
 	idx []int32
 	wts []float64

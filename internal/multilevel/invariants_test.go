@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/gen"
+	"repro/internal/gio"
 	"repro/internal/graph"
 	"repro/internal/partition"
 )
@@ -94,10 +95,10 @@ func TestHierarchyInvariantsMETISGraph(t *testing.T) {
 	// in-memory state the interchange format drops.
 	src := gen.Mesh(250, 17)
 	var buf bytes.Buffer
-	if err := src.WriteMETIS(&buf); err != nil {
+	if err := gio.WriteMETIS(&buf, src); err != nil {
 		t.Fatal(err)
 	}
-	g, err := graph.ReadMETIS(&buf)
+	g, err := gio.ReadMETIS(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,52 @@
+package service
+
+import "container/list"
+
+// lruCache maps cache keys to completed entries with least-recently-used
+// eviction. It is not self-locking: the Engine serializes access under its
+// own mutex, which also keeps the hit/eviction counters exact.
+type lruCache struct {
+	capacity int
+	order    *list.List // front = most recently used; values are *lruItem
+	items    map[string]*list.Element
+}
+
+type lruItem struct {
+	key string
+	ent *entry
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the entry under key, refreshing its recency.
+func (c *lruCache) get(key string) (*entry, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruItem).ent, true
+}
+
+// add inserts a completed entry, reporting whether an older one was
+// evicted. The key is never already present: the engine's inflight map
+// admits one computation per key at a time, and completion moves the entry
+// from inflight to the cache atomically under the engine mutex.
+func (c *lruCache) add(key string, ent *entry) (evicted bool) {
+	c.items[key] = c.order.PushFront(&lruItem{key: key, ent: ent})
+	if c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruItem).key)
+		return true
+	}
+	return false
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

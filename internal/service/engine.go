@@ -1,0 +1,527 @@
+// Package service turns the algorithm registry into a long-running
+// partition-as-a-service job engine: callers submit (graph, algorithm,
+// options) requests, a bounded worker pool executes them, and a
+// content-addressed LRU cache returns bit-identical results for repeated
+// requests without recomputing.
+//
+// Determinism is what makes the cache sound. Every registered partitioner is
+// deterministic for a fixed Options.Seed, and the Workers/EvalWorkers knobs
+// are pure speed knobs (bit-identical results for any value — the
+// internal/par contract), so the cache key is (graph content hash, algorithm
+// name, normalized options) with the speed knobs normalized away. Two
+// requests with equal keys therefore have equal answers, no matter which
+// pool worker computes them or how wide the pool is.
+//
+// Identical requests in flight are coalesced: the first computes, the rest
+// attach to the same computation and are reported as cache hits. This is
+// what bounds the cost of a thundering herd of identical requests to one
+// partition run.
+package service
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/internal/algo"
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// Config sizes an Engine.
+type Config struct {
+	// Workers bounds how many partition computations run concurrently
+	// (<= 0 selects GOMAXPROCS, like every Workers knob in this repository).
+	Workers int
+	// CacheEntries bounds the completed-result LRU cache (<= 0 selects 256).
+	CacheEntries int
+	// JobParallelism is the Workers/EvalWorkers width each computation runs
+	// with (<= 0 divides GOMAXPROCS evenly across the pool). It never
+	// affects results, only speed.
+	JobParallelism int
+	// JobHistory bounds how many jobs remain pollable via GetJob (<= 0
+	// selects 4096). Submitting past the bound forgets the oldest finished
+	// jobs — without this a long-running daemon's job table (and the result
+	// slices it pins) would grow with total request count.
+	JobHistory int
+	// MaxQueue bounds how many computations may wait for a worker (<= 0
+	// selects 256). Every queued entry pins its parsed graph, so an
+	// unbounded queue would let async submissions grow memory without
+	// limit; past the bound Submit fails fast with an overloaded error
+	// (backpressure) instead of accepting work it cannot hold.
+	MaxQueue int
+}
+
+// ErrOverloaded is returned (wrapped) by Submit when the computation queue
+// is full; the HTTP layer maps it to 429.
+var ErrOverloaded = fmt.Errorf("service: computation queue is full")
+
+// ErrNoJob is returned (wrapped) by WaitJob for unknown or
+// history-evicted job ids; the HTTP layer maps it to 404.
+var ErrNoJob = fmt.Errorf("service: no such job")
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Result is a completed partition with the quality metrics the benchmark
+// suite reports.
+type Result struct {
+	Assign      []uint16 `json:"assign"`
+	Parts       int      `json:"parts"`
+	Cut         float64  `json:"cut"`
+	MaxPartCut  float64  `json:"max_part_cut"`
+	ImbalanceSq float64  `json:"imbalance_sq"`
+	Balance     float64  `json:"balance"`
+	// ComputeNS is the wall time of the computation that produced this
+	// result. Cache hits share the producing run's Result, so they carry
+	// its original compute time — the job's own cost for a hit is ~0.
+	ComputeNS int64 `json:"compute_ns"`
+}
+
+// JobInfo is an immutable snapshot of a job.
+type JobInfo struct {
+	ID      string  `json:"id"`
+	State   State   `json:"state"`
+	Algo    string  `json:"algo"`
+	Parts   int     `json:"parts"`
+	Seed    int64   `json:"seed"`
+	Key     string  `json:"key"`    // content-addressed cache key
+	Cached  bool    `json:"cached"` // served by the cache or coalesced onto an in-flight computation
+	Error   string  `json:"error,omitempty"`
+	Created int64   `json:"created_unix_ms"`
+	Result  *Result `json:"result,omitempty"`
+}
+
+// Stats are the engine's instrumentation counters.
+type Stats struct {
+	Workers        int    `json:"workers"`
+	JobsSubmitted  uint64 `json:"jobs_submitted"`
+	JobsQueued     int    `json:"jobs_queued"`
+	JobsRunning    int    `json:"jobs_running"`
+	JobsDone       uint64 `json:"jobs_done"`
+	JobsFailed     uint64 `json:"jobs_failed"`
+	CacheHits      uint64 `json:"cache_hits"`      // completed-result hits
+	Coalesced      uint64 `json:"coalesced"`       // joined an identical in-flight computation
+	CacheMisses    uint64 `json:"cache_misses"`    // requests that had to compute
+	CacheEvictions uint64 `json:"cache_evictions"` // LRU evictions
+	CacheEntries   int    `json:"cache_entries"`
+	CacheCapacity  int    `json:"cache_capacity"`
+}
+
+// RequestError is a caller mistake (unknown algorithm, constraint
+// violation, invalid part count) as opposed to an internal failure; the
+// HTTP layer maps it to a structured 4xx response.
+type RequestError struct {
+	Code    string // stable machine-readable code
+	Message string
+}
+
+func (e *RequestError) Error() string { return e.Message }
+
+func reqErr(code, format string, args ...any) *RequestError {
+	return &RequestError{Code: code, Message: fmt.Sprintf(format, args...)}
+}
+
+// entry is one distinct computation, shared by every job with the same key.
+type entry struct {
+	key     string
+	algo    string
+	opts    algo.Options // normalized; execution widths applied at run time
+	graph   *graph.Graph // released once the computation finishes
+	state   State
+	result  *Result
+	err     error
+	done    chan struct{} // closed on completion, for waiters
+	execNum int           // worker slot, for debugging
+}
+
+// job is one submitted request; many jobs may share one entry.
+type job struct {
+	id      string
+	created time.Time
+	cached  bool
+	entry   *entry
+}
+
+// Engine is the job engine. Create with New, stop with Close.
+type Engine struct {
+	cfg Config
+
+	mu       sync.Mutex
+	cond     *sync.Cond // queue became non-empty, or the engine closed
+	queue    []*entry   // FIFO of entries awaiting a worker
+	jobs     map[string]*job
+	jobOrder []string // job ids in creation order, for history eviction
+	inflight map[string]*entry
+	cache    *lruCache
+	seq      uint64
+	running  int
+	closed   bool
+	wg       sync.WaitGroup
+
+	jobsSubmitted, jobsDone, jobsFailed uint64
+	hits, coalesced, misses, evictions  uint64
+}
+
+// New starts an Engine with cfg's worker pool.
+func New(cfg Config) *Engine {
+	cfg.Workers = par.Workers(cfg.Workers)
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 4096
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 256
+	}
+	if cfg.JobParallelism <= 0 {
+		cfg.JobParallelism = par.Workers(0) / cfg.Workers
+		if cfg.JobParallelism < 1 {
+			cfg.JobParallelism = 1
+		}
+	}
+	e := &Engine{
+		cfg:      cfg,
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*entry),
+		cache:    newLRU(cfg.CacheEntries),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go e.worker(i)
+	}
+	return e
+}
+
+// Submit validates a request against the registry's declared constraints and
+// either answers it from the cache, attaches it to an identical in-flight
+// computation, or queues a new computation. It returns the job's snapshot;
+// poll GetJob or block on WaitJob for completion.
+func (e *Engine) Submit(g *graph.Graph, algoName string, opts algo.Options) (JobInfo, error) {
+	_, info, err := e.submit(g, algoName, opts)
+	return info, err
+}
+
+// SubmitWait submits like Submit and blocks until the job completes or ctx
+// is cancelled. It holds the job reference across the wait, so the result
+// is delivered even if a burst of other submissions evicts the job from
+// the pollable history meanwhile.
+func (e *Engine) SubmitWait(ctx context.Context, g *graph.Graph, algoName string, opts algo.Options) (JobInfo, error) {
+	j, info, err := e.submit(g, algoName, opts)
+	if err != nil {
+		return info, err
+	}
+	select {
+	case <-j.entry.done:
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapshotLocked(j), nil
+}
+
+func (e *Engine) submit(g *graph.Graph, algoName string, opts algo.Options) (*job, JobInfo, error) {
+	p, err := algo.Get(algoName)
+	if err != nil {
+		return nil, JobInfo{}, reqErr("unknown_algo", "unknown algorithm %q (see /v1/algos; available: %v)", algoName, algo.Names())
+	}
+	if opts.Parts < 1 {
+		return nil, JobInfo{}, reqErr("bad_parts", "parts must be >= 1, got %d", opts.Parts)
+	}
+	if opts.Parts > g.NumNodes() {
+		return nil, JobInfo{}, reqErr("bad_parts", "parts %d exceeds the graph's %d nodes", opts.Parts, g.NumNodes())
+	}
+	// Partition assignments are uint16 repo-wide; a larger part count would
+	// silently wrap part ids instead of failing.
+	if opts.Parts > 1<<16 {
+		return nil, JobInfo{}, reqErr("bad_parts", "parts %d exceeds the supported maximum %d", opts.Parts, 1<<16)
+	}
+	info := p.Info()
+	if info.NeedsCoords && !g.HasCoords() {
+		return nil, JobInfo{}, reqErr("needs_coords", "algorithm %q requires a geometric embedding and the input format carries none", algoName)
+	}
+	if info.PowerOfTwoParts && opts.Parts&(opts.Parts-1) != 0 {
+		return nil, JobInfo{}, reqErr("parts_not_power_of_two", "algorithm %q requires a power-of-two part count, got %d", algoName, opts.Parts)
+	}
+
+	opts = normalizeOptions(opts)
+	key := cacheKey(g, algoName, opts)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return nil, JobInfo{}, fmt.Errorf("service: engine is shut down")
+	}
+	newJob := func() *job {
+		e.jobsSubmitted++
+		e.seq++
+		j := &job{id: fmt.Sprintf("j%08d", e.seq), created: time.Now()}
+		e.jobs[j.id] = j
+		e.jobOrder = append(e.jobOrder, j.id)
+		e.evictJobHistoryLocked()
+		return j
+	}
+
+	if ent, ok := e.cache.get(key); ok {
+		e.hits++
+		j := newJob()
+		j.cached = true
+		j.entry = ent
+		return j, e.snapshotLocked(j), nil
+	}
+	if ent, ok := e.inflight[key]; ok {
+		e.coalesced++
+		j := newJob()
+		j.cached = true
+		j.entry = ent
+		return j, e.snapshotLocked(j), nil
+	}
+	// A new computation needs a queue slot; every queued entry pins its
+	// parsed graph, so refuse (backpressure) rather than queue without
+	// bound. Checked before the job record is created: an overloaded
+	// request leaves no trace.
+	if len(e.queue) >= e.cfg.MaxQueue {
+		return nil, JobInfo{}, fmt.Errorf("%w (%d computations waiting); retry later", ErrOverloaded, len(e.queue))
+	}
+	e.misses++
+	ent := &entry{
+		key:   key,
+		algo:  algoName,
+		opts:  opts,
+		graph: g,
+		state: StateQueued,
+		done:  make(chan struct{}),
+	}
+	j := newJob()
+	j.entry = ent
+	e.inflight[key] = ent
+	e.queue = append(e.queue, ent)
+	e.cond.Signal()
+	return j, e.snapshotLocked(j), nil
+}
+
+// evictJobHistoryLocked forgets the oldest finished jobs beyond the history
+// bound. Queued and running jobs are never evicted (clients are still
+// waiting on them), so under a backlog deeper than the bound the table
+// temporarily exceeds it — memory there is already bounded by the queue
+// itself. e.mu must be held.
+func (e *Engine) evictJobHistoryLocked() {
+	for len(e.jobs) > e.cfg.JobHistory && len(e.jobOrder) > 0 {
+		id := e.jobOrder[0]
+		j, ok := e.jobs[id]
+		if ok && j.entry.state != StateDone && j.entry.state != StateFailed {
+			return // oldest job still active; nothing older to free
+		}
+		e.jobOrder = e.jobOrder[1:]
+		delete(e.jobs, id)
+	}
+}
+
+// GetJob returns a job snapshot. Jobs older than Config.JobHistory finished
+// submissions are forgotten and report not-found.
+func (e *Engine) GetJob(id string) (JobInfo, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobInfo{}, false
+	}
+	return e.snapshotLocked(j), true
+}
+
+// WaitJob blocks until the job completes (done or failed) or ctx is
+// cancelled, and returns the final snapshot. The job reference is resolved
+// once up front, so history eviction during the wait cannot lose the
+// result. Unknown ids fail with an error wrapping ErrNoJob.
+func (e *Engine) WaitJob(ctx context.Context, id string) (JobInfo, error) {
+	e.mu.Lock()
+	j, ok := e.jobs[id]
+	e.mu.Unlock()
+	if !ok {
+		return JobInfo{}, fmt.Errorf("%w: %q", ErrNoJob, id)
+	}
+	select {
+	case <-j.entry.done:
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.snapshotLocked(j), nil
+}
+
+// Workers returns the resolved worker-pool width.
+func (e *Engine) Workers() int { return e.cfg.Workers }
+
+// Stats returns the current counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Workers:        e.cfg.Workers,
+		JobsSubmitted:  e.jobsSubmitted,
+		JobsQueued:     len(e.queue),
+		JobsRunning:    e.running,
+		JobsDone:       e.jobsDone,
+		JobsFailed:     e.jobsFailed,
+		CacheHits:      e.hits,
+		Coalesced:      e.coalesced,
+		CacheMisses:    e.misses,
+		CacheEvictions: e.evictions,
+		CacheEntries:   e.cache.len(),
+		CacheCapacity:  e.cfg.CacheEntries,
+	}
+}
+
+// Close stops the engine: queued-but-unstarted computations fail with a
+// shutdown error, running ones are allowed to finish, and the worker pool
+// drains before Close returns. Submit after Close is an error.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	for _, ent := range e.queue {
+		ent.state = StateFailed
+		ent.err = fmt.Errorf("service: engine shut down before the job ran")
+		ent.graph = nil
+		delete(e.inflight, ent.key)
+		e.jobsFailed++
+		close(ent.done)
+	}
+	e.queue = nil
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}
+
+// worker is one pool goroutine: pop, compute, publish, repeat.
+func (e *Engine) worker(slot int) {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for len(e.queue) == 0 && !e.closed {
+			e.cond.Wait()
+		}
+		if len(e.queue) == 0 && e.closed {
+			e.mu.Unlock()
+			return
+		}
+		ent := e.queue[0]
+		e.queue = e.queue[1:]
+		ent.state = StateRunning
+		ent.execNum = slot
+		e.running++
+		e.mu.Unlock()
+
+		res, err := e.compute(ent)
+
+		e.mu.Lock()
+		e.running--
+		delete(e.inflight, ent.key)
+		if err != nil {
+			ent.state = StateFailed
+			ent.err = err
+			e.jobsFailed++
+		} else {
+			ent.state = StateDone
+			ent.result = res
+			e.jobsDone++
+			if evicted := e.cache.add(ent.key, ent); evicted {
+				e.evictions++
+			}
+		}
+		ent.graph = nil // the CSR arrays are the bulk of a job's footprint
+		close(ent.done)
+		e.mu.Unlock()
+	}
+}
+
+// compute runs the actual partitioner. A panicking algorithm must not take
+// the daemon down, so panics become failed jobs.
+func (e *Engine) compute(ent *entry) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("service: %s panicked: %v\n%s", ent.algo, r, debug.Stack())
+		}
+	}()
+	opts := ent.opts
+	opts.Workers = e.cfg.JobParallelism
+	opts.EvalWorkers = e.cfg.JobParallelism
+	g := ent.graph
+	start := time.Now()
+	p, err := algo.Run(g, ent.algo, opts)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	if err := p.Validate(g); err != nil {
+		return nil, fmt.Errorf("service: %s returned an invalid partition: %w", ent.algo, err)
+	}
+	res = &Result{
+		Assign:      p.Assign,
+		Parts:       p.Parts,
+		Cut:         p.CutSize(g),
+		MaxPartCut:  p.MaxPartCut(g),
+		ImbalanceSq: p.ImbalanceSq(g),
+		ComputeNS:   elapsed.Nanoseconds(),
+	}
+	ideal := g.TotalNodeWeight() / float64(p.Parts)
+	var maxW float64
+	for _, w := range p.PartWeights(g) {
+		if w > maxW {
+			maxW = w
+		}
+	}
+	if ideal > 0 {
+		res.Balance = maxW / ideal
+	}
+	return res, nil
+}
+
+// snapshotLocked assembles a JobInfo; e.mu must be held.
+func (e *Engine) snapshotLocked(j *job) JobInfo {
+	ent := j.entry
+	info := JobInfo{
+		ID:      j.id,
+		State:   ent.state,
+		Algo:    ent.algo,
+		Parts:   ent.opts.Parts,
+		Seed:    ent.opts.Seed,
+		Key:     ent.key,
+		Cached:  j.cached,
+		Created: j.created.UnixMilli(),
+	}
+	if ent.err != nil {
+		info.Error = ent.err.Error()
+	}
+	if ent.state == StateDone {
+		info.Result = ent.result
+	}
+	return info
+}
+
+// normalizeOptions canonicalizes the fields that may not influence the
+// result: Workers and EvalWorkers are pure speed knobs (the internal/par
+// bit-identity contract), so they are zeroed out of the cache key and
+// replaced by the engine's own execution width.
+func normalizeOptions(o algo.Options) algo.Options {
+	o.Workers = 0
+	o.EvalWorkers = 0
+	return o
+}

@@ -1,0 +1,265 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/algo"
+	"repro/internal/gio"
+	"repro/internal/partition"
+)
+
+// HTTP JSON API over the Engine — the surface cmd/partd serves.
+//
+//	POST /v1/partition      submit a graph (METIS/edge-list/text payload)
+//	GET  /v1/jobs/{id}      job status and result (?wait=1 blocks)
+//	GET  /v1/algos          the registry with declared constraints
+//	GET  /v1/stats          engine and cache counters
+//
+// Errors are structured: {"error": {"code": "...", "message": "..."}} with a
+// 4xx status for caller mistakes.
+
+// maxGraphPayload bounds a request body. A 10M-node mesh in METIS form is
+// ~100 MB of text; this default admits the scales the suites exercise while
+// keeping a single request from exhausting the daemon.
+const maxGraphPayload = 256 << 20
+
+// PartitionRequest is the body of POST /v1/partition. Graph carries the
+// serialized graph inline; Format names its encoding ("metis" is the
+// default, "edgelist" and "text" the alternatives). Wait, when true, holds
+// the response until the job completes instead of returning 202
+// immediately. The optional algorithm knobs mirror algo.Options; speed
+// knobs (worker widths) are deliberately absent — they never change results
+// and the daemon sizes them itself.
+type PartitionRequest struct {
+	Algo      string `json:"algo"`
+	Parts     int    `json:"parts"`
+	Seed      int64  `json:"seed"`
+	Format    string `json:"format,omitempty"`
+	Graph     string `json:"graph"`
+	Objective string `json:"objective,omitempty"` // "total" (default) or "worst"
+
+	Generations  int  `json:"generations,omitempty"`
+	PopSize      int  `json:"pop_size,omitempty"`
+	Islands      int  `json:"islands,omitempty"`
+	RefinePasses int  `json:"refine_passes,omitempty"`
+	CoarsestSize int  `json:"coarsest_size,omitempty"`
+	Wait         bool `json:"wait,omitempty"`
+}
+
+// AlgoInfo is one registry entry as served by GET /v1/algos.
+type AlgoInfo struct {
+	Name            string `json:"name"`
+	Description     string `json:"description"`
+	NeedsCoords     bool   `json:"needs_coords"`
+	PowerOfTwoParts bool   `json:"power_of_two_parts"`
+	Stochastic      bool   `json:"stochastic"`
+}
+
+// NewHandler builds the HTTP API over e.
+func NewHandler(e *Engine) http.Handler {
+	// Graph payloads are decoded and parsed before the engine's queue bound
+	// can refuse them, so concurrent parsing is its own memory hazard: N
+	// simultaneous near-limit uploads would materialize N bodies plus their
+	// CSR arrays at once. The semaphore bounds how many requests may be in
+	// the decode/parse stage; the rest wait on their connection, which
+	// costs kilobytes instead of gigabytes.
+	s := &httpServer{e: e, parseSem: make(chan struct{}, e.Workers()+2)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/partition", s.handlePartition)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/algos", s.handleAlgos)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+type httpServer struct {
+	e        *Engine
+	parseSem chan struct{}
+}
+
+func (s *httpServer) handlePartition(w http.ResponseWriter, r *http.Request) {
+	select {
+	case s.parseSem <- struct{}{}:
+	case <-r.Context().Done():
+		writeError(w, http.StatusServiceUnavailable, "unavailable", "request cancelled while waiting for a parse slot")
+		return
+	}
+	// The slot covers only the decode/parse stage; it is released as soon
+	// as the request is handed to the engine, so wait-mode requests do not
+	// pin slots while blocked on their job.
+	released := false
+	releaseSlot := func() {
+		if !released {
+			released = true
+			<-s.parseSem
+		}
+	}
+	defer releaseSlot()
+	r.Body = http.MaxBytesReader(w, r.Body, maxGraphPayload)
+	var req PartitionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
+				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "bad_json", "malformed request body: "+err.Error())
+		return
+	}
+	format, err := gio.FormatByName(req.Format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_format",
+			fmt.Sprintf("unknown graph format %q (want metis, edgelist, or text)", req.Format))
+		return
+	}
+	if format == gio.FormatAuto {
+		format = gio.FormatMETIS
+	}
+	if req.Graph == "" {
+		writeError(w, http.StatusBadRequest, "bad_graph", "request carries no graph payload")
+		return
+	}
+	g, err := gio.ReadGraph(format, strings.NewReader(req.Graph))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_graph", err.Error())
+		return
+	}
+	opts, rerr := optionsFromRequest(&req)
+	if rerr != nil {
+		writeError(w, http.StatusBadRequest, rerr.Code, rerr.Message)
+		return
+	}
+	req.Graph = "" // drop the body copy; g owns the parsed arrays now
+	releaseSlot()
+	if req.Wait || r.URL.Query().Get("wait") == "1" {
+		// SubmitWait holds the job across the wait — unlike submit-then-poll
+		// it cannot lose the result to history eviction under load.
+		final, err := s.e.SubmitWait(r.Context(), g, req.Algo, opts)
+		if err != nil {
+			writeSubmitError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, final)
+		return
+	}
+	info, err := s.e.Submit(g, req.Algo, opts)
+	if err != nil {
+		writeSubmitError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if info.State == StateDone || info.State == StateFailed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, info)
+}
+
+// writeSubmitError maps a Submit/SubmitWait failure to its HTTP shape:
+// caller mistakes are 400 with their stable code, a full queue is 429
+// (back off and retry), anything else 503.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var re *RequestError
+	switch {
+	case errors.As(err, &re):
+		writeError(w, http.StatusBadRequest, re.Code, re.Message)
+	case errors.Is(err, ErrOverloaded):
+		writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+	default:
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+	}
+}
+
+func (s *httpServer) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if r.URL.Query().Get("wait") == "1" {
+		info, err := s.e.WaitJob(r.Context(), id)
+		switch {
+		case errors.Is(err, ErrNoJob):
+			writeError(w, http.StatusNotFound, "not_found", err.Error())
+		case err != nil:
+			writeError(w, http.StatusServiceUnavailable, "wait_interrupted", err.Error())
+		default:
+			writeJSON(w, http.StatusOK, info)
+		}
+		return
+	}
+	info, ok := s.e.GetJob(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *httpServer) handleAlgos(w http.ResponseWriter, _ *http.Request) {
+	names := algo.Names()
+	out := make([]AlgoInfo, 0, len(names))
+	for _, name := range names {
+		p, err := algo.Get(name)
+		if err != nil {
+			continue
+		}
+		info := p.Info()
+		out = append(out, AlgoInfo{
+			Name:            info.Name,
+			Description:     info.Description,
+			NeedsCoords:     info.NeedsCoords,
+			PowerOfTwoParts: info.PowerOfTwoParts,
+			Stochastic:      info.Stochastic,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *httpServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.e.Stats())
+}
+
+// optionsFromRequest maps the wire request onto algo.Options.
+func optionsFromRequest(req *PartitionRequest) (algo.Options, *RequestError) {
+	opts := algo.Options{
+		Parts:        req.Parts,
+		Seed:         req.Seed,
+		Generations:  req.Generations,
+		PopSize:      req.PopSize,
+		Islands:      req.Islands,
+		RefinePasses: req.RefinePasses,
+		CoarsestSize: req.CoarsestSize,
+	}
+	switch req.Objective {
+	case "", "total":
+		opts.Objective = partition.TotalCut
+	case "worst":
+		opts.Objective = partition.WorstCut
+	default:
+		return opts, reqErr("bad_objective", "unknown objective %q (want total or worst)", req.Objective)
+	}
+	return opts, nil
+}
+
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, message string) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = message
+	writeJSON(w, status, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
