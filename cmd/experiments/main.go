@@ -52,7 +52,7 @@ func main() {
 		workers = flag.Int("evalworkers", 0, "parallel fitness-evaluation goroutines per engine (0 = auto; results are identical for any value)")
 
 		doBench   = flag.Bool("bench", false, "run the machine-readable benchmark suite instead of tables/figures")
-		suite     = flag.String("suite", "small", "benchmark suite: small | scale | diverse | weighted")
+		suite     = flag.String("suite", "small", "benchmark suite: small | scale | scale100k | diverse | weighted")
 		inPath    = flag.String("in", "", "benchmark a graph file instead of a generated suite (format from extension, or -informat)")
 		inFormat  = flag.String("informat", "auto", "input graph format for -in: auto | metis | edgelist | text")
 		parts     = flag.Int("parts", 8, "part count for -in")
@@ -62,7 +62,8 @@ func main() {
 		tol       = flag.Float64("tol", 0.10, "allowed relative cut increase vs the baseline")
 		exact     = flag.Bool("exact", false, "require cuts identical to the baseline in both directions (the determinism gate)")
 		repeat    = flag.Int("repeat", 1, "timing repetitions per (case, algorithm) pair")
-		mlWorkers = flag.Int("workers", 0, "parallel multilevel coarsening/contraction goroutines (0 = auto; results are identical for any value)")
+		mlWorkers = flag.Int("workers", 0, "parallel V-cycle goroutines: coarsening, contraction, projection, and colored refinement (0 = auto; results are identical for any value)")
+		lanczos   = flag.Int("lanczos", 0, "rsb: Lanczos iteration budget per Fiedler solve (0 = default 40)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 			repeat:   *repeat,
 			evalW:    *workers,
 			workers:  *mlWorkers,
+			lanczos:  *lanczos,
 		})
 		return
 	}
@@ -161,6 +163,7 @@ type benchRun struct {
 	repeat   int
 	evalW    int // GA fitness-evaluation width
 	workers  int // multilevel pipeline width
+	lanczos  int // rsb Lanczos iteration budget
 }
 
 // runBench executes a JSON benchmark suite, optionally writes the artifact,
@@ -204,7 +207,7 @@ func runBench(cfg benchRun) {
 			fail(err)
 		}
 	}
-	opt := algo.Options{Seed: gen.SuiteSeed, EvalWorkers: cfg.evalW, Workers: cfg.workers}
+	opt := algo.Options{Seed: gen.SuiteSeed, EvalWorkers: cfg.evalW, Workers: cfg.workers, LanczosIter: cfg.lanczos}
 	start := time.Now()
 	rep := bench.RunJSON(suiteName, cases, names, opt, cfg.repeat)
 	for _, r := range rep.Results {

@@ -45,9 +45,10 @@ func main() {
 		pop       = flag.Int("pop", 0, "GA total population (0 = default)")
 		islands   = flag.Int("islands", 0, "GA subpopulations (0 = default, 1 = single population)")
 		workers   = flag.Int("evalworkers", 0, "parallel fitness-evaluation goroutines per engine (0 = auto; results are identical for any value)")
-		mlWorkers = flag.Int("workers", 0, "parallel multilevel coarsening/contraction goroutines (0 = auto; results are identical for any value)")
+		mlWorkers = flag.Int("workers", 0, "parallel V-cycle goroutines: coarsening, contraction, projection, and colored refinement (0 = auto; results are identical for any value)")
 		passes    = flag.Int("passes", 0, "refinement passes for kl/fm/multilevel (0 = algorithm default)")
 		coarsest  = flag.Int("coarsest", 0, "multilevel: stop coarsening at this many nodes (0 = default)")
+		lanczos   = flag.Int("lanczos", 0, "rsb: Lanczos iteration budget per Fiedler solve (0 = default 40; cost grows with the square)")
 		seed      = flag.Int64("seed", 1994, "random seed")
 		outPath   = flag.String("out", "", "write the partition vector (one part id per line) to this file")
 		svgPath   = flag.String("svg", "", "render the partitioned graph as SVG to this file")
@@ -85,6 +86,7 @@ func main() {
 		RefinePasses: *passes,
 		CoarsestSize: *coarsest,
 		Workers:      *mlWorkers,
+		LanczosIter:  *lanczos,
 	})
 	if err != nil {
 		fatal(err)

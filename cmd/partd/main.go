@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	partd -addr :8080 -workers 4 -cache 512
+//	partd -addr :8080 -workers 4 -cache-mb 128
 //
 // Endpoints:
 //
@@ -39,7 +39,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
 		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file once serving (for scripts using -addr :0)")
 		workers  = flag.Int("workers", 0, "concurrent partition computations (0 = GOMAXPROCS)")
-		cache    = flag.Int("cache", 0, "result cache capacity in entries (0 = default 256)")
+		cacheMB  = flag.Int("cache-mb", 0, "result cache budget in MiB of payload (0 = default 64)")
 		jobPar   = flag.Int("job-parallelism", 0, "per-computation worker width; never changes results (0 = auto)")
 	)
 	flag.Parse()
@@ -53,7 +53,7 @@ func main() {
 
 	engine := service.New(service.Config{
 		Workers:        *workers,
-		CacheEntries:   *cache,
+		CacheBytes:     int64(*cacheMB) << 20,
 		JobParallelism: *jobPar,
 	})
 	srv := &http.Server{

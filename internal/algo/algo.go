@@ -44,10 +44,20 @@ type Options struct {
 	// Refinement family (kl, fm, multilevel-*).
 	RefinePasses int // 0 = algorithm default (unlimited for kl, 4 per level for multilevel)
 	CoarsestSize int // multilevel: stop coarsening at this many nodes; 0 = 64
-	// Workers bounds the goroutines the multilevel pipeline's coarsening and
-	// contraction phases may use (0 = auto). Like EvalWorkers, it is a pure
-	// speed knob: results are bit-identical for every value.
+	// Workers bounds the goroutines the parallel phases may use: the
+	// multilevel pipeline's coarsening/contraction AND its uncoarsening
+	// (projection, boundary rebuilds, colored refinement), plus the flat
+	// kl/fm refiners' gain evaluation (0 = auto). Like EvalWorkers, it is a
+	// pure speed knob: results are bit-identical for every value.
 	Workers int
+
+	// Spectral family (rsb, multilevel-rsb).
+	// LanczosIter caps the Krylov dimension of each Fiedler-vector solve
+	// (0 = the solver default, currently 40). Lanczos with full
+	// reorthogonalization costs O(LanczosIter² · n) per bisection level, so
+	// this knob is the budget that keeps spectral bisection's runtime
+	// bounded and predictable on large graphs.
+	LanczosIter int
 }
 
 func (o Options) withDefaults() Options {

@@ -38,7 +38,7 @@ func init() {
 		PowerOfTwoParts: true,
 		Stochastic:      true, // Lanczos starts from a random vector
 	}, func(g *graph.Graph, opt Options) (*partition.Partition, error) {
-		return spectral.Partition(g, opt.Parts, rand.New(rand.NewSource(opt.Seed)))
+		return spectral.PartitionIter(g, opt.Parts, rand.New(rand.NewSource(opt.Seed)), opt.LanczosIter)
 	}))
 
 	Register(New(Info{
@@ -68,13 +68,13 @@ func init() {
 
 	Register(New(Info{
 		Name:        "kl",
-		Description: "flat Kernighan–Lin: region-growing start, boundary hill climbing to convergence",
+		Description: "flat Kernighan–Lin: region-growing start, colored boundary hill climbing to convergence",
 	}, func(g *graph.Graph, opt Options) (*partition.Partition, error) {
 		p, err := greedy.RegionGrow(g, opt.Parts)
 		if err != nil {
 			return nil, err
 		}
-		kl.Refine(g, p, opt.RefinePasses)
+		kl.RefineEvalPar(g, p, nil, opt.RefinePasses, opt.Workers)
 		return p, nil
 	}))
 
@@ -86,7 +86,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		fm.Refine(g, p, fm.Config{MaxPasses: opt.RefinePasses})
+		fm.Refine(g, p, fm.Config{MaxPasses: opt.RefinePasses, Workers: opt.Workers})
 		return p, nil
 	}))
 

@@ -106,6 +106,18 @@ func WeightedSuite() []Case {
 	}
 }
 
+// Scale100kSuite is the 100k-node suite: a random geometric graph at the
+// scale the grid-bucketed generator made cheap (PR 4) and the Lanczos
+// iteration budget made safe to gate (rsb's per-level solves are bounded, so
+// the suite cannot spin). It exercises the parallel V-cycle end to end —
+// fifteen-odd coarsening levels and the full parallel uncoarsening phase —
+// plus the flat refiners and spectral bisection at six-figure node counts.
+func Scale100kSuite() []Case {
+	return []Case{
+		{Name: "rgg-100000-p8", Graph: gen.RandomGeometric(rand.New(rand.NewSource(gen.SuiteSeed+100000)), 100000, 0.005), Parts: 8},
+	}
+}
+
 // SuiteByName maps the -suite flag to a suite constructor.
 func SuiteByName(name string) ([]Case, error) {
 	switch name {
@@ -113,12 +125,14 @@ func SuiteByName(name string) ([]Case, error) {
 		return SmallSuite(), nil
 	case "scale":
 		return ScaleSuite(), nil
+	case "scale100k":
+		return Scale100kSuite(), nil
 	case "diverse":
 		return DiverseSuite(), nil
 	case "weighted":
 		return WeightedSuite(), nil
 	default:
-		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale, diverse, weighted)", name)
+		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale, scale100k, diverse, weighted)", name)
 	}
 }
 

@@ -14,8 +14,17 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
+
+// seedBuffers resizes the per-pass seeding scratch.
+func seedBuffers(to []int32, gain []float64, n int) ([]int32, []float64) {
+	if cap(to) < n {
+		return make([]int32, n), make([]float64, n)
+	}
+	return to[:n], gain[:n]
+}
 
 // Config bounds a refinement run.
 type Config struct {
@@ -25,6 +34,13 @@ type Config struct {
 	// BalanceSlack is the allowed deviation of any part's node count from
 	// the ideal n/parts, in nodes. 0 selects ceil(2% of ideal)+1.
 	BalanceSlack int
+	// Workers bounds the goroutines each pass's heap seeding — the
+	// connectivity-row materialization and best-candidate scan over the
+	// whole boundary — may use (<= 0 selects GOMAXPROCS). A pure speed knob:
+	// candidates are pushed serially in ascending node order afterwards, so
+	// the heap, the move sequence, and the result are bit-identical to the
+	// serial pass at every width.
+	Workers int
 }
 
 // Refine improves p in place, minimizing the edge cut subject to the
@@ -77,7 +93,7 @@ func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, cfg 
 	s := newScratch(n, p.Parts)
 	var total float64
 	for pass := 0; pass < maxPasses; pass++ {
-		gain := onePass(g, p, ev, minSize, maxSize, s)
+		gain := onePass(g, p, ev, minSize, maxSize, s, cfg.Workers)
 		total += gain
 		if gain <= 0 {
 			break
@@ -102,6 +118,8 @@ type scratch struct {
 	work      *partition.Partition
 	heap      candHeap
 	log       []move
+	seedTo    []int32   // parallel seeding: best destination per seed node
+	seedGain  []float64 // ... and its gain (-1 destination = no candidate)
 }
 
 func newScratch(n, parts int) *scratch {
@@ -189,7 +207,16 @@ func (h *candHeap) pop() cand {
 // the interior at all; a node whose neighbors all share its part has no
 // candidate move, so the lazily-seeded heap holds exactly the candidates
 // the historical full scan produced, in the same order.
-func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize, maxSize int, s *scratch) float64 {
+//
+// Seeding is the pass's data-parallel half: each seed node's connectivity
+// row and best candidate are a pure function of the pass-start working
+// assignment and every node owns its own row, so they are computed over
+// `workers` goroutines; the candidates are then pushed serially in
+// ascending node order — the exact heap the serial seed loop builds. The
+// pop/commit loop that follows stays serial (each move reorders the heap
+// the next pop reads), which is why the multilevel pipeline pairs FM with
+// the colored KL climb rather than relying on FM alone for parallel work.
+func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize, maxSize int, s *scratch, workers int) float64 {
 	n := g.NumNodes()
 	parts := p.Parts
 
@@ -228,30 +255,61 @@ func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize
 
 	h := &s.heap
 	*h = (*h)[:0]
-	pushBest := func(v int) {
-		ensureConn(v)
+	// bestOf scans v's (already materialized) connectivity row for the best
+	// candidate move — shared by the parallel seeding and the in-pass
+	// re-pushes, so the candidate-selection rules exist exactly once.
+	bestOf := func(v int) (int32, float64) {
 		from := int(work.Assign[v])
-		base := s.conn[v*parts+from]
-		bestTo, bestGain := -1, math.Inf(-1)
+		row := s.conn[v*parts : (v+1)*parts]
+		base := row[from]
+		bestTo, bestGain := int32(-1), math.Inf(-1)
 		for q := 0; q < parts; q++ {
-			if q == from || s.conn[v*parts+q] == 0 {
+			if q == from || row[q] == 0 {
 				continue // only move toward parts v touches (boundary moves)
 			}
-			if gainQ := s.conn[v*parts+q] - base; gainQ > bestGain {
-				bestTo, bestGain = q, gainQ
+			if gainQ := row[q] - base; gainQ > bestGain {
+				bestTo, bestGain = int32(q), gainQ
 			}
 		}
-		if bestTo >= 0 {
-			h.push(cand{v: v, to: bestTo, gain: bestGain, stamp: stampOf(v)})
+		return bestTo, bestGain
+	}
+	pushBest := func(v int) {
+		ensureConn(v)
+		if to, gain := bestOf(v); to >= 0 {
+			h.push(cand{v: v, to: int(to), gain: gain, stamp: stampOf(v)})
 		}
 	}
+	// seedBest is pushBest's scan without the push, for the parallel
+	// seeding phase: ensureConn writes only v-owned state (the row and its
+	// pass stamp), so concurrent calls on distinct nodes are safe.
+	seedBest := func(v int) (int32, float64) {
+		ensureConn(v)
+		return bestOf(v)
+	}
 	if ev.TracksBoundary() {
-		for _, v := range ev.Boundary() {
-			pushBest(v)
+		seeds := ev.Boundary()
+		s.seedTo, s.seedGain = seedBuffers(s.seedTo, s.seedGain, len(seeds))
+		par.For(workers, len(seeds), func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				s.seedTo[i], s.seedGain[i] = seedBest(seeds[i])
+			}
+		})
+		for i, v := range seeds {
+			if s.seedTo[i] >= 0 {
+				h.push(cand{v: v, to: int(s.seedTo[i]), gain: s.seedGain[i], stamp: stampOf(v)})
+			}
 		}
 	} else {
+		s.seedTo, s.seedGain = seedBuffers(s.seedTo, s.seedGain, n)
+		par.For(workers, n, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				s.seedTo[v], s.seedGain[v] = seedBest(v)
+			}
+		})
 		for v := 0; v < n; v++ {
-			pushBest(v)
+			if s.seedTo[v] >= 0 {
+				h.push(cand{v: v, to: int(s.seedTo[v]), gain: s.seedGain[v], stamp: stampOf(v)})
+			}
 		}
 	}
 

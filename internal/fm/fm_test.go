@@ -132,3 +132,44 @@ func TestQuickRefineInvariants(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The Workers knob must be a pure speed knob: the parallel heap seeding
+// pushes the same candidates in the same order at every width, so the move
+// sequence — and the final partition — is bit-identical, with and without
+// boundary tracking on the Eval.
+func TestRefineWorkersBitIdentical(t *testing.T) {
+	g := gen.Mesh(800, 23)
+	rng := rand.New(rand.NewSource(24))
+	start := partition.RandomBalanced(g.NumNodes(), 4, rng)
+
+	type variant struct {
+		name    string
+		tracked bool
+	}
+	for _, vr := range []variant{{"tracked", true}, {"untracked", false}} {
+		run := func(workers int) (*partition.Partition, float64) {
+			p := start.Clone()
+			var ev *partition.Eval
+			if vr.tracked {
+				ev = partition.NewEvalBoundary(g, p)
+			} else {
+				ev = partition.NewEval(g, p)
+			}
+			gain := RefineEval(g, p, ev, Config{Workers: workers})
+			return p, gain
+		}
+		refP, refGain := run(1)
+		for _, workers := range []int{2, 4, 8, 0} {
+			p, gain := run(workers)
+			if gain != refGain {
+				t.Fatalf("%s workers=%d: gain %v != %v", vr.name, workers, gain, refGain)
+			}
+			for v := range p.Assign {
+				if p.Assign[v] != refP.Assign[v] {
+					t.Fatalf("%s workers=%d: node %d in part %d, reference %d",
+						vr.name, workers, v, p.Assign[v], refP.Assign[v])
+				}
+			}
+		}
+	}
+}

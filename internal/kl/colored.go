@@ -1,0 +1,372 @@
+// Colored parallel boundary hill climbing: the uncoarsening-phase refiner of
+// the multilevel pipeline, parallelized without giving up the repository-wide
+// Workers determinism contract.
+//
+// The serial climb (HillClimbEval) visits the boundary in ascending node
+// order and takes each node's best strictly-improving move immediately, so
+// every decision depends on all earlier ones — an inherently sequential
+// chain. The colored climb breaks the chain where it is provably slack: each
+// pass walks the boundary in index-contiguous tiles, and a deterministic
+// coloring of each tile's induced subgraph (par.Color) splits the tile into
+// color classes with no internal edges, so within a class no committed move
+// can change another member's neighborhood. That makes the expensive
+// per-node work — the O(deg) scan producing each member's candidate parts
+// and cut deltas — a pure function of the class-start state, evaluated in
+// parallel over par-owned index ranges. Commits then replay serially in
+// ascending node order within the class, folding each candidate's cut
+// deltas with the *current* part weights (and cuts), so a class sweep is
+// exactly a serial sweep of its members and a move is taken only if it
+// strictly improves the fitness at commit time; the partition.Eval
+// aggregates stay exact move by move.
+//
+// The whole climb is therefore the serial climb run over a deterministic
+// permutation of each pass's boundary — (tile, color, index) order instead
+// of pure index order — which preserves its properties (monotone fitness,
+// convergence to a single-move local optimum; at tile size 1 it IS the
+// serial climb bit for bit) while exposing class-sized batches of gain
+// evaluation to the worker pool. The result is a pure function of (graph,
+// partition, objective): the worker count changes only which goroutine
+// computes which class member's deltas, never a decision — pinned by the
+// width bit-identity tests in this package and downstream in multilevel and
+// algo.
+package kl
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+	"repro/internal/partition"
+)
+
+// HillClimbColored performs boundary hill climbing with the colored parallel
+// sweep described above, spreading gain evaluation over `workers` goroutines
+// (<= 0 selects GOMAXPROCS; every width yields bit-identical results). Like
+// HillClimbEval it climbs until no move improves the objective o or maxPasses
+// passes complete (<= 0 means unlimited), keeps ev exactly in sync, and
+// returns the number of moves made. A nil ev is rebuilt from p; boundary
+// tracking is enabled on ev if it is not already.
+//
+// The visit order within a pass is (tile, color class, ascending node id)
+// rather than the serial climb's pure ascending order, so the two climbers
+// are distinct (deterministic) algorithms that converge to local optima of
+// equal character but not necessarily bit-equal partitions. The GA's
+// offspring climbing keeps the serial sweep; the multilevel uncoarsening
+// phase and the flat kl/fm registry algorithms use this one.
+func HillClimbColored(g *graph.Graph, p *partition.Partition, o partition.Objective, maxPasses, workers int, ev *partition.Eval) int {
+	if ev == nil {
+		ev = partition.NewEvalBoundaryPar(g, p, workers)
+	} else if !ev.TracksBoundary() {
+		ev.ResetBoundaryPar(g, p, workers)
+	}
+	c := &colorClimber{
+		g:       g,
+		p:       p,
+		o:       o,
+		ev:      ev,
+		avg:     g.TotalNodeWeight() / float64(p.Parts),
+		workers: par.Workers(workers),
+	}
+	moves := 0
+	for pass := 0; maxPasses <= 0 || pass < maxPasses; pass++ {
+		m := c.pass()
+		moves += m
+		if m == 0 {
+			break
+		}
+	}
+	return moves
+}
+
+// moveCand is one candidate destination of a class member: the target part
+// and the total weight of the member's edges into it, accumulated in
+// first-seen neighbor order (matching the serial climb's candidate order and
+// tie-breaking).
+type moveCand struct {
+	to  int32
+	wTo float64
+}
+
+// classScratch is one worker's per-part dedup scratch for candidate
+// accumulation; rows are invalidated by bumping the stamp, never by zeroing.
+type classScratch struct {
+	seen  []int32 // seen[q] == stamp: part q already has a candidate slot
+	idx   []int32 // its index within the node's candidate range
+	stamp int32
+}
+
+// colorClimber carries the state of one colored climb. All slices are
+// scratch reused across classes and passes.
+type colorClimber struct {
+	g       *graph.Graph
+	p       *partition.Partition
+	o       partition.Objective
+	ev      *partition.Eval
+	avg     float64
+	workers int
+
+	bIndex    []int32 // graph node -> 1 + position in the current tile; 0 = absent
+	members   []int32 // tile nodes grouped by color, ascending within a class
+	classOff  []int32 // members[classOff[c]:classOff[c+1]] = class c
+	classFill []int32 // counting-sort fill cursor per class
+
+	off     []int32 // candidate range start per class member (degree-prefix)
+	cnt     []int32 // candidates actually produced
+	wFrom   []float64
+	wTot    []float64
+	cands   []moveCand
+	scratch []classScratch
+}
+
+// tileSize is the number of consecutive boundary nodes one colored tile
+// spans. Tiles are processed sequentially in ascending index order and only
+// a tile's interior is class-batched, so the sweep's decision order tracks
+// the serial climb's ascending sweep at tile granularity — cascades of
+// improving moves propagate tile to tile within a single pass, which is
+// what keeps the colored climb's quality at the serial climb's level. The
+// size is a fixed constant (never derived from the worker count): the tile
+// grid is part of the algorithm's definition, so every width sweeps the
+// identical order.
+const tileSize = 512
+
+// pass snapshots the boundary and sweeps it in ascending index order, one
+// tile at a time: each tile's induced subgraph is colored, each color
+// class's candidate moves are gain-evaluated in parallel, and commits
+// replay in ascending node order within the class. It returns the number of
+// moves.
+func (c *colorClimber) pass() int {
+	b := c.ev.Boundary() // ascending snapshot
+	if len(b) == 0 {
+		return 0
+	}
+	if len(c.bIndex) < c.g.NumNodes() {
+		c.bIndex = make([]int32, c.g.NumNodes())
+	}
+	moves := 0
+	for lo := 0; lo < len(b); lo += tileSize {
+		hi := lo + tileSize
+		if hi > len(b) {
+			hi = len(b)
+		}
+		moves += c.sweepTile(b[lo:hi])
+	}
+	return moves
+}
+
+// sweepTile colors the tile's induced subgraph and sweeps its color classes
+// in ascending color order. Adjacent nodes in different tiles are never
+// evaluated concurrently (tiles run sequentially), so only intra-tile
+// adjacency needs coloring.
+func (c *colorClimber) sweepTile(tile []int) int {
+	for i, v := range tile {
+		c.bIndex[v] = int32(i + 1)
+	}
+	colors := par.Color(c.workers, len(tile), func(i int, visit func(u int)) {
+		for _, u := range c.g.Neighbors(tile[i]) {
+			if j := c.bIndex[u]; j > 0 {
+				visit(int(j - 1))
+			}
+		}
+	})
+	nColors := 0
+	for _, cl := range colors {
+		if int(cl) >= nColors {
+			nColors = int(cl) + 1
+		}
+	}
+	// Group the tile by color with a counting sort; iterating the
+	// (ascending) tile in order keeps each class internally ascending.
+	c.classOff = ensureInt32(c.classOff, nColors+1)
+	for i := range c.classOff {
+		c.classOff[i] = 0
+	}
+	for _, cl := range colors {
+		c.classOff[cl+1]++
+	}
+	for cl := 0; cl < nColors; cl++ {
+		c.classOff[cl+1] += c.classOff[cl]
+	}
+	c.members = ensureInt32(c.members, len(tile))
+	c.classFill = ensureInt32(c.classFill, nColors)
+	for i := range c.classFill {
+		c.classFill[i] = 0
+	}
+	for i, v := range tile {
+		cl := colors[i]
+		c.members[c.classOff[cl]+c.classFill[cl]] = int32(v)
+		c.classFill[cl]++
+	}
+	for _, v := range tile {
+		c.bIndex[v] = 0
+	}
+	moves := 0
+	for cl := 0; cl < nColors; cl++ {
+		moves += c.sweepClass(c.members[c.classOff[cl]:c.classOff[cl+1]])
+	}
+	return moves
+}
+
+// sweepClass evaluates every class member's candidate moves in parallel
+// against the class-start state, then commits strictly-improving moves
+// serially in ascending node order.
+func (c *colorClimber) sweepClass(members []int32) int {
+	m := len(members)
+	c.off = ensureInt32(c.off, m+1)
+	c.cnt = ensureInt32(c.cnt, m)
+	c.wFrom = ensureFloat(c.wFrom, m)
+	c.wTot = ensureFloat(c.wTot, m)
+	c.off[0] = 0
+	for j, v := range members {
+		c.off[j+1] = c.off[j] + int32(len(c.g.Neighbors(int(v))))
+	}
+	if need := int(c.off[m]); cap(c.cands) < need {
+		c.cands = make([]moveCand, need)
+	} else {
+		c.cands = c.cands[:need]
+	}
+	if len(c.scratch) < c.workers {
+		c.scratch = make([]classScratch, c.workers)
+		for w := range c.scratch {
+			c.scratch[w] = classScratch{
+				seen:  make([]int32, c.p.Parts),
+				idx:   make([]int32, c.p.Parts),
+				stamp: 1,
+			}
+		}
+	}
+	assign := c.p.Assign
+	// Tiny classes run inline: the evaluation is a pure function into
+	// index-owned slots either way (so the cutoff cannot change results),
+	// and goroutine handoff would cost more than the work itself.
+	workers := c.workers
+	if m < 32 {
+		workers = 1
+	}
+	par.For(workers, m, func(worker, lo, hi int) {
+		sc := &c.scratch[worker]
+		for j := lo; j < hi; j++ {
+			v := int(members[j])
+			from := assign[v]
+			base := int(c.off[j])
+			k := int32(0)
+			var wf, wt float64
+			ws := c.g.EdgeWeights(v)
+			for i, u := range c.g.Neighbors(v) {
+				w := ws[i]
+				wt += w
+				q := assign[u]
+				if q == from {
+					wf += w
+					continue
+				}
+				if sc.seen[q] != sc.stamp {
+					sc.seen[q] = sc.stamp
+					sc.idx[q] = k
+					c.cands[base+int(k)] = moveCand{to: int32(q), wTo: w}
+					k++
+				} else {
+					c.cands[base+int(sc.idx[q])].wTo += w
+				}
+			}
+			sc.stamp++
+			c.cnt[j] = k
+			c.wFrom[j] = wf
+			c.wTot[j] = wt
+		}
+	})
+	moves := 0
+	for j := 0; j < m; j++ {
+		if c.commitBest(j, int(members[j])) {
+			moves++
+		}
+	}
+	return moves
+}
+
+// commitBest folds class member j's precomputed cut deltas with the current
+// part weights (and, for WorstCut, the current part cuts), picks the best
+// strictly-improving destination with the serial climb's exact tie rules
+// (candidates in first-seen neighbor order, strict improvement only), and
+// applies it through ev so the aggregates and boundary stay exact.
+//
+// The precomputed deltas are still valid here even though earlier members of
+// the class may have moved: class members share no edge, so a member's
+// neighborhood is untouched until its own commit slot.
+func (c *colorClimber) commitBest(j, v int) bool {
+	from := int(c.p.Assign[v])
+	wf, wt := c.wFrom[j], c.wTot[j]
+	wv := c.g.NodeWeight(v)
+	bestTo := -1
+	var bestFit float64
+	for k := 0; k < int(c.cnt[j]); k++ {
+		cd := c.cands[int(c.off[j])+k]
+		to := int(cd.to)
+		wOther := wt - wf - cd.wTo
+		dFrom := wf - cd.wTo - wOther
+		dTo := wf - cd.wTo + wOther
+		before := sq(c.ev.Weights[from]-c.avg) + sq(c.ev.Weights[to]-c.avg)
+		after := sq(c.ev.Weights[from]-wv-c.avg) + sq(c.ev.Weights[to]+wv-c.avg)
+		imbDelta := after - before
+		var fit float64
+		switch c.o {
+		case partition.TotalCut:
+			fit = -(imbDelta + dFrom + dTo)
+		case partition.WorstCut:
+			curMax, newMax := 0.0, 0.0
+			for q, cut := range c.ev.Cuts {
+				if cut > curMax {
+					curMax = cut
+				}
+				eff := cut
+				switch q {
+				case from:
+					eff += dFrom
+				case to:
+					eff += dTo
+				}
+				if eff > newMax {
+					newMax = eff
+				}
+			}
+			fit = -(imbDelta + newMax - curMax)
+		}
+		if fit > 1e-12 && (bestTo < 0 || fit > bestFit) {
+			bestTo, bestFit = to, fit
+		}
+	}
+	if bestTo < 0 {
+		return false
+	}
+	c.ev.Move(c.g, c.p, v, bestTo)
+	return true
+}
+
+// rebalCand is a candidate of the parallel rebalance argmax; the total order
+// (score descending, node id ascending) makes the reduction independent of
+// both visit order and worker count.
+type rebalCand struct {
+	v     int
+	score float64
+}
+
+func betterRebal(a, b rebalCand) rebalCand {
+	if b.v < 0 {
+		return a
+	}
+	if a.v < 0 || b.score > a.score || (b.score == a.score && b.v < a.v) {
+		return b
+	}
+	return a
+}
+
+func ensureInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func ensureFloat(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}

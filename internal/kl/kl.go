@@ -8,6 +8,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/partition"
 )
 
@@ -275,28 +276,37 @@ func Bisect(g *graph.Graph, p *partition.Partition) float64 {
 	}
 }
 
-// Refine improves a k-way partition by running HillClimb with the TotalCut
-// objective, then rebalancing if hill climbing skewed part weights: while
-// some part exceeds the ideal weight by more than the heaviest node, its
-// boundary node whose move costs least is shifted to the lightest part.
+// Refine improves a k-way partition by running the colored boundary climb
+// with the TotalCut objective, then rebalancing if hill climbing skewed part
+// weights: while some part exceeds the ideal weight by more than the
+// heaviest node, its boundary node whose move costs least is shifted to the
+// lightest part.
 func Refine(g *graph.Graph, p *partition.Partition, maxPasses int) {
-	RefineEval(g, p, nil, maxPasses)
+	RefineEvalPar(g, p, nil, maxPasses, 1)
 }
 
-// RefineEval is Refine for callers that already hold the partition's cached
-// aggregates. It skips the O(V+E) Eval setup scan and keeps ev exactly in
-// sync with every move it makes (including rebalancing moves), so a caller
-// can chain refinements — the multilevel pipeline projects one Eval down its
-// whole uncoarsening hierarchy this way, because projection changes neither
-// part weights nor part cuts. A nil ev is rebuilt from p with boundary
-// tracking enabled, so even the flat path pays the full-graph scan once
-// instead of once per pass.
+// RefineEval is RefineEvalPar at width 1, kept for callers without a worker
+// knob; the result is identical at every width.
 func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, maxPasses int) {
+	RefineEvalPar(g, p, ev, maxPasses, 1)
+}
+
+// RefineEvalPar is Refine for callers that already hold the partition's
+// cached aggregates and want the climb's gain evaluation spread over
+// `workers` goroutines (<= 0 selects GOMAXPROCS; results are bit-identical
+// for every width). It skips the O(V+E) Eval setup scan and keeps ev exactly
+// in sync with every move it makes (including rebalancing moves), so a
+// caller can chain refinements — the multilevel pipeline projects one Eval
+// down its whole uncoarsening hierarchy this way, because projection changes
+// neither part weights nor part cuts. A nil ev is rebuilt from p (by the
+// sharded parallel scan) with boundary tracking enabled, so even the flat
+// path pays the full-graph scan once instead of once per pass.
+func RefineEvalPar(g *graph.Graph, p *partition.Partition, ev *partition.Eval, maxPasses, workers int) {
 	if ev == nil {
-		ev = partition.NewEvalBoundary(g, p)
+		ev = partition.NewEvalBoundaryPar(g, p, workers)
 	}
-	HillClimbEval(g, p, partition.TotalCut, maxPasses, ev)
-	rebalance(g, p, ev)
+	HillClimbColored(g, p, partition.TotalCut, maxPasses, workers, ev)
+	rebalance(g, p, ev, workers)
 }
 
 // Rebalance enforces the node-weight balance invariant on p without any
@@ -304,7 +314,16 @@ func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, maxP
 // imbalance (FM's slack, projections from weighted coarse graphs) can
 // restore the contract afterwards. ev, when non-nil, is kept in sync.
 func Rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
-	rebalance(g, p, ev)
+	rebalance(g, p, ev, 1)
+}
+
+// RebalancePar is Rebalance with each iteration's cheapest-node argmax
+// spread over `workers` goroutines. The scan's total order (score
+// descending, node id ascending) makes the winner independent of visit
+// order, so the parallel reduction picks exactly the node the serial scan
+// picks — bit-identical results at every width.
+func RebalancePar(g *graph.Graph, p *partition.Partition, ev *partition.Eval, workers int) {
+	rebalance(g, p, ev, workers)
 }
 
 // rebalance enforces near-perfect weight balance by moving cheapest boundary
@@ -315,8 +334,10 @@ func Rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
 // levels of the multilevel pipeline (where node weights are member counts)
 // and weighted workloads come out right. When ev is non-nil its aggregates
 // supply the part weights and are kept in sync with every move; a tracked
-// boundary set additionally replaces the per-move O(V+E) boundary rescans.
-func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
+// boundary set additionally replaces the per-move O(V+E) boundary rescans,
+// and its argmax is reduced over `workers` goroutines (par.Reduce's fixed
+// chunk grid plus the scan's total order keep the winner width-independent).
+func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval, workers int) {
 	n := g.NumNodes()
 	ideal := g.TotalNodeWeight() / float64(p.Parts)
 	var maxNodeW float64
@@ -347,34 +368,43 @@ func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
 		// Cheapest node of part `over` to move to `under`: maximize
 		// (edges into under) - (edges inside over). Ties go to the smallest
 		// node id, so the pick is deterministic whatever order the boundary
-		// is visited in — which lets the tracked set be consumed unsorted,
-		// O(b) per move with no allocation, instead of re-sorting it.
-		bestV, bestScore := -1, math.Inf(-1)
-		consider := func(v int) {
+		// is visited in — which lets the tracked set be consumed unsorted and
+		// sharded across workers, O(b) per move with no sorting.
+		score := func(v int) (float64, bool) {
 			if int(p.Assign[v]) != over {
-				return
+				return 0, false
 			}
-			var score float64
+			var s float64
 			ws := g.EdgeWeights(v)
 			for i, u := range g.Neighbors(v) {
 				switch int(p.Assign[u]) {
 				case under:
-					score += ws[i]
+					s += ws[i]
 				case over:
-					score -= ws[i]
+					s -= ws[i]
 				}
 			}
-			if score > bestScore || (score == bestScore && bestV >= 0 && v < bestV) {
-				bestV, bestScore = v, score
-			}
+			return s, true
 		}
+		best := rebalCand{v: -1, score: math.Inf(-1)}
 		if ev != nil && ev.TracksBoundary() {
-			ev.ForEachBoundary(consider)
+			best = par.Reduce(workers, ev.BoundaryLen(), best,
+				func(acc rebalCand, i int) rebalCand {
+					v := ev.BoundaryNode(i)
+					s, ok := score(v)
+					if !ok {
+						return acc
+					}
+					return betterRebal(acc, rebalCand{v: v, score: s})
+				}, betterRebal)
 		} else {
 			for _, v := range p.BoundaryNodes(g) {
-				consider(v)
+				if s, ok := score(v); ok {
+					best = betterRebal(best, rebalCand{v: v, score: s})
+				}
 			}
 		}
+		bestV := best.v
 		if bestV < 0 {
 			// No boundary node in the overweight part touches anything:
 			// move an arbitrary node (disconnected part).

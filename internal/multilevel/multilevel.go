@@ -17,11 +17,20 @@
 // partition.Eval aggregates computed once on the coarsest graph stay valid
 // across every projection; refinement keeps them in sync incrementally, so
 // the whole uncoarsening phase never rescans a graph to recompute fitness.
+//
+// Both halves of the V-cycle are parallel under one contract: Config.Workers
+// changes wall time, never the result. Coarsening splits matching into a
+// parallel propose phase plus a serial claim sweep; uncoarsening fills each
+// projection and rebuilds each level's boundary over par-owned index ranges,
+// and refines with the colored boundary climb (kl.HillClimbColored), FM with
+// parallel heap seeding, and the parallel rebalance argmax — all of which
+// are bit-identical at every width by construction.
 package multilevel
 
 import (
 	"fmt"
 	"math/rand"
+	"time"
 
 	"repro/internal/fm"
 	"repro/internal/graph"
@@ -181,10 +190,26 @@ type Config struct {
 	RefinePasses int
 	// Refiner selects the uncoarsening refinement; default RefineKLFM.
 	Refiner Refiner
-	// Workers bounds the goroutines coarsening and contraction may use;
+	// Workers bounds the goroutines the whole V-cycle may use — matching
+	// proposals and contraction on the way down, projection, boundary
+	// rebuilds, colored refinement, and rebalance argmax on the way up;
 	// <= 0 selects GOMAXPROCS. The result is bit-identical for every value.
 	Workers int
 	Seed    int64
+	// Stats, when non-nil, receives the run's phase timings.
+	Stats *Stats
+}
+
+// Stats reports where a Partition call spent its wall time, phase by phase.
+// The uncoarsening phase (projection + per-level refinement) is the half the
+// parallel refactor targets: on multi-core it was the serial bottleneck once
+// coarsening went parallel.
+type Stats struct {
+	Levels      int           // coarsening levels built
+	Coarsen     time.Duration // hierarchy construction (matching + contraction)
+	CoarseSolve time.Duration // inner partitioner on the coarsest graph
+	Project     time.Duration // assignment projection + boundary rebuilds
+	Refine      time.Duration // per-level refinement (climb, FM, rebalance)
 }
 
 func (c *Config) withDefaults() Config {
@@ -235,9 +260,14 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
 
+	var stats Stats
+	start := time.Now()
 	levels, coarsest := BuildHierarchy(g, c.CoarsestSize, c.MaxLevels, rng, c.Workers)
+	stats.Levels = len(levels)
+	stats.Coarsen = time.Since(start)
 
 	// Partition the coarsest graph.
+	start = time.Now()
 	p, err := inner(coarsest, c.Parts, rng)
 	if err != nil {
 		return nil, fmt.Errorf("multilevel: coarse partition: %w", err)
@@ -245,6 +275,7 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 	if err := p.Validate(coarsest); err != nil {
 		return nil, fmt.Errorf("multilevel: inner partitioner result invalid: %w", err)
 	}
+	stats.CoarseSolve = time.Since(start)
 
 	// One Eval for the whole uncoarsening phase: projection preserves part
 	// weights (coarse node weights are member sums) and part cuts (coarse
@@ -252,8 +283,9 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 	// verbatim and only refinement moves touch them. The Eval also tracks
 	// the boundary set, which every refiner seeds its scans from; unlike
 	// the weight/cut aggregates, node identities change across projection,
-	// so the boundary is rebuilt per level (one O(V+E) scan replacing the
-	// per-pass scans the refiners used to pay).
+	// so the boundary is rebuilt per level — by the sharded parallel scan,
+	// like the projection fill itself (every fine node's slot is owned by
+	// exactly one par chunk, so any width writes the same arrays).
 	var ev *partition.Eval
 	if c.Refiner != RefineNone {
 		ev = partition.NewEvalBoundary(coarsest, p)
@@ -261,29 +293,40 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 
 	for i := len(levels) - 1; i >= 0; i-- {
 		lvl := levels[i]
+		start = time.Now()
 		fine := partition.New(lvl.Graph.NumNodes(), c.Parts)
-		for v := range fine.Assign {
-			fine.Assign[v] = p.Assign[lvl.CoarseOf[v]]
-		}
+		coarseAssign, coarseOf := p.Assign, lvl.CoarseOf
+		par.For(c.Workers, len(fine.Assign), func(_, lo, hi int) {
+			fa := fine.Assign
+			for v := lo; v < hi; v++ {
+				fa[v] = coarseAssign[coarseOf[v]]
+			}
+		})
 		if ev != nil {
-			ev.ResetBoundary(lvl.Graph, fine)
+			ev.ResetBoundaryPar(lvl.Graph, fine, c.Workers)
 		}
+		stats.Project += time.Since(start)
+		start = time.Now()
 		switch c.Refiner {
 		case RefineKLFM:
 			// Climb first (each pass is cheap and takes every strictly
 			// improving move), then a single FM pass to slide through the
 			// zero-gain plateaus steepest descent cannot cross, then a final
 			// climb-and-rebalance to harvest what FM exposed.
-			kl.HillClimbEval(lvl.Graph, fine, partition.TotalCut, c.RefinePasses, ev)
-			fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: 1})
-			kl.RefineEval(lvl.Graph, fine, ev, 1)
+			kl.HillClimbColored(lvl.Graph, fine, partition.TotalCut, c.RefinePasses, c.Workers, ev)
+			fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: 1, Workers: c.Workers})
+			kl.RefineEvalPar(lvl.Graph, fine, ev, 1, c.Workers)
 		case RefineKL:
-			kl.RefineEval(lvl.Graph, fine, ev, c.RefinePasses)
+			kl.RefineEvalPar(lvl.Graph, fine, ev, c.RefinePasses, c.Workers)
 		case RefineFM:
-			fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: c.RefinePasses})
-			kl.Rebalance(lvl.Graph, fine, ev)
+			fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: c.RefinePasses, Workers: c.Workers})
+			kl.RebalancePar(lvl.Graph, fine, ev, c.Workers)
 		}
+		stats.Refine += time.Since(start)
 		p = fine
+	}
+	if c.Stats != nil {
+		*c.Stats = stats
 	}
 	if err := p.Validate(g); err != nil {
 		return nil, fmt.Errorf("multilevel: projection produced invalid partition: %w", err)

@@ -217,7 +217,7 @@ func TestPartitionWorkersBitIdentical(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", ref, err)
 		}
-		for _, workers := range []int{2, 3, 0} {
+		for _, workers := range []int{2, 3, 4, 8, 0} {
 			p, err := Partition(g, Config{Parts: 4, Seed: 5, Refiner: ref, Workers: workers}, rsbInner)
 			if err != nil {
 				t.Fatalf("%v workers=%d: %v", ref, workers, err)
@@ -229,5 +229,76 @@ func TestPartitionWorkersBitIdentical(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// Randomized cross-layer width check: the whole V-cycle — parallel
+// projection, sharded boundary rebuilds, colored refinement — on random
+// graph shapes (plain mesh, integer-weighted random graph) must reproduce
+// the Workers=1 partition bit for bit at every width and for every refiner.
+func TestQuickPartitionWorkersBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		graphs := map[string]*graph.Graph{
+			"mesh":     gen.Mesh(300+100*int(seed), seed),
+			"weighted": randomWeightedGraph(250+80*int(seed), seed*17),
+		}
+		for name, g := range graphs {
+			for _, ref := range []Refiner{RefineKLFM, RefineKL, RefineFM} {
+				base, err := Partition(g, Config{Parts: 4, Seed: seed, Refiner: ref, Workers: 1}, klInner)
+				if err != nil {
+					t.Fatalf("%s %v: %v", name, ref, err)
+				}
+				for _, workers := range []int{2, 4, 8} {
+					p, err := Partition(g, Config{Parts: 4, Seed: seed, Refiner: ref, Workers: workers}, klInner)
+					if err != nil {
+						t.Fatalf("%s %v workers=%d: %v", name, ref, workers, err)
+					}
+					for v := range p.Assign {
+						if p.Assign[v] != base.Assign[v] {
+							t.Fatalf("%s seed=%d %v workers=%d: node %d differs", name, seed, ref, workers, v)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func randomWeightedGraph(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetNodeWeight(v, float64(1+rng.Intn(7)))
+	}
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.Intn(v), float64(1+rng.Intn(9)))
+	}
+	for i := 0; i < 2*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !b.HasEdge(u, v) {
+			b.AddEdge(u, v, float64(1+rng.Intn(9)))
+		}
+	}
+	return b.Build()
+}
+
+func TestPartitionStats(t *testing.T) {
+	g := gen.Mesh(2000, 15)
+	var st Stats
+	p, err := Partition(g, Config{Parts: 4, Seed: 1, Workers: 2, Stats: &st}, rsbInner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if st.Levels == 0 {
+		t.Error("Stats.Levels not populated")
+	}
+	if st.Coarsen <= 0 || st.CoarseSolve <= 0 {
+		t.Errorf("phase timings not populated: %+v", st)
+	}
+	if st.Project <= 0 || st.Refine <= 0 {
+		t.Errorf("uncoarsening timings not populated: %+v", st)
 	}
 }

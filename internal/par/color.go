@@ -1,0 +1,116 @@
+package par
+
+// Color computes a proper coloring of the n-node graph whose adjacency is
+// given by adj: adj(v, visit) must call visit(u) for every neighbor u of v
+// (self-visits are ignored; the relation must be symmetric). It returns one
+// color per node, 0-based and dense from 0.
+//
+// The algorithm is Jones–Plassmann over hashed-id priorities: in rounds, every
+// uncolored node whose priority beats all of its uncolored neighbors takes the
+// smallest color absent from its already-colored neighborhood. Decisions in a
+// round read only the previous round's state and each node writes only its own
+// slot, so the coloring — like everything built on package par — is
+// bit-identical for every worker count and schedule. The priority hash is a
+// fixed bijection of the node index, so ties cannot occur and the round
+// structure is a pure function of the graph.
+//
+// The refiners use this on the boundary-induced subgraph of a partition: two
+// nodes of one color class share no edge, so their candidate moves can be
+// gain-evaluated concurrently without one move invalidating the other's cut
+// deltas.
+func Color(workers, n int, adj func(v int, visit func(u int))) []int32 {
+	color := make([]int32, n)
+	for i := range color {
+		color[i] = -1
+	}
+	if n == 0 {
+		return color
+	}
+	active := make([]int32, n)
+	for i := range active {
+		active[i] = int32(i)
+	}
+	decided := make([]int32, n)
+	for len(active) > 0 {
+		m := len(active)
+		For(workers, m, func(_, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				v := int(active[i])
+				pv := prio(v)
+				wins := true
+				adj(v, func(u int) {
+					if u != v && color[u] < 0 && prio(u) > pv {
+						wins = false
+					}
+				})
+				if !wins {
+					decided[i] = -1
+					continue
+				}
+				decided[i] = smallestAbsent(v, color, adj)
+			}
+		})
+		// Apply after all decisions: a round reads only pre-round colors.
+		// Compaction preserves relative order, so the next round's active
+		// list — and with it every fn(index) mapping — stays deterministic.
+		next := active[:0]
+		for i := 0; i < m; i++ {
+			v := active[i]
+			if decided[i] >= 0 {
+				color[v] = decided[i]
+			} else {
+				next = append(next, v)
+			}
+		}
+		active = next
+	}
+	return color
+}
+
+// smallestAbsent returns the smallest color not used by any colored neighbor
+// of v. Colors below 64 are tracked in a bitmask; the rare higher ones (a
+// node with 64+ distinctly-colored neighbors) fall back to a slice scan.
+func smallestAbsent(v int, color []int32, adj func(v int, visit func(u int))) int32 {
+	var mask uint64
+	var high []int32
+	adj(v, func(u int) {
+		if c := color[u]; c >= 0 {
+			if c < 64 {
+				mask |= 1 << uint(c)
+			} else {
+				high = append(high, c)
+			}
+		}
+	})
+	for c := int32(0); ; c++ {
+		if c < 64 {
+			if mask&(1<<uint(c)) == 0 {
+				return c
+			}
+			continue
+		}
+		used := false
+		for _, h := range high {
+			if h == c {
+				used = true
+				break
+			}
+		}
+		if !used {
+			return c
+		}
+	}
+}
+
+// prio is a splitmix64-style finalizer: a bijection on 64-bit integers, so
+// distinct nodes always have distinct priorities and Jones–Plassmann rounds
+// need no tie-breaking.
+func prio(v int) uint64 {
+	x := uint64(v) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,136 @@
+package par
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randAdj builds a symmetric adjacency list for n nodes with roughly avgDeg
+// neighbors each.
+func randAdj(n, avgDeg int, seed int64) [][]int {
+	rng := rand.New(rand.NewSource(seed))
+	adj := make([][]int, n)
+	edges := n * avgDeg / 2
+	for e := 0; e < edges; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		adj[u] = append(adj[u], v)
+		adj[v] = append(adj[v], u)
+	}
+	return adj
+}
+
+func visitFn(adj [][]int) func(v int, visit func(u int)) {
+	return func(v int, visit func(u int)) {
+		for _, u := range adj[v] {
+			visit(u)
+		}
+	}
+}
+
+func TestColorIsProper(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 300, 2000} {
+		adj := randAdj(n, 6, int64(n))
+		colors := Color(4, n, visitFn(adj))
+		for v := 0; v < n; v++ {
+			if colors[v] < 0 {
+				t.Fatalf("n=%d: node %d left uncolored", n, v)
+			}
+			for _, u := range adj[v] {
+				if u != v && colors[u] == colors[v] {
+					t.Fatalf("n=%d: adjacent nodes %d and %d share color %d", n, v, u, colors[v])
+				}
+			}
+		}
+	}
+}
+
+func TestColorBitIdenticalAcrossWorkers(t *testing.T) {
+	n := 1500
+	adj := randAdj(n, 8, 42)
+	ref := Color(1, n, visitFn(adj))
+	for _, workers := range []int{2, 4, 8, 0} {
+		got := Color(workers, n, visitFn(adj))
+		for v := range got {
+			if got[v] != ref[v] {
+				t.Fatalf("workers=%d: node %d colored %d, reference %d", workers, v, got[v], ref[v])
+			}
+		}
+	}
+}
+
+func TestColorUsesFewColorsOnPath(t *testing.T) {
+	// A path is 2-colorable; greedy JP may use a couple more, but a blowup
+	// would signal a broken round structure.
+	n := 1000
+	adj := make([][]int, n)
+	for v := 0; v+1 < n; v++ {
+		adj[v] = append(adj[v], v+1)
+		adj[v+1] = append(adj[v+1], v)
+	}
+	colors := Color(4, n, visitFn(adj))
+	max := int32(0)
+	for _, c := range colors {
+		if c > max {
+			max = c
+		}
+	}
+	if max > 3 {
+		t.Errorf("path graph used %d colors", max+1)
+	}
+}
+
+func TestColorEmpty(t *testing.T) {
+	if got := Color(4, 0, func(int, func(int)) {}); len(got) != 0 {
+		t.Errorf("empty graph returned %v", got)
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	n := 10_000
+	want := n * (n - 1) / 2
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		got := Reduce(workers, n, 0,
+			func(acc, i int) int { return acc + i },
+			func(a, b int) int { return a + b })
+		if got != want {
+			t.Fatalf("workers=%d: sum %d, want %d", workers, got, want)
+		}
+	}
+}
+
+// A non-commutative merge (string concatenation) exposes any dependence of
+// the merge order on the worker count: the fixed chunk grid must yield the
+// ascending-chunk concatenation for every width.
+func TestReduceDeterministicNonCommutativeMerge(t *testing.T) {
+	n := 3*ReduceChunk + 7
+	run := func(workers int) string {
+		return Reduce(workers, n, "",
+			func(acc string, i int) string {
+				if i%ReduceChunk == 0 {
+					return acc + fmt.Sprintf("[%d]", i/ReduceChunk)
+				}
+				return acc
+			},
+			func(a, b string) string { return a + b })
+	}
+	ref := run(1)
+	if ref != "[0][1][2][3]" {
+		t.Fatalf("unexpected reference %q", ref)
+	}
+	for _, workers := range []int{2, 4, 8, 0} {
+		if got := run(workers); got != ref {
+			t.Fatalf("workers=%d: %q != %q", workers, got, ref)
+		}
+	}
+}
+
+func TestReduceEmpty(t *testing.T) {
+	got := Reduce(4, 0, -1, func(acc, i int) int { return 0 }, func(a, b int) int { return 0 })
+	if got != -1 {
+		t.Errorf("empty reduce returned %d, want identity", got)
+	}
+}

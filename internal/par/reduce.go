@@ -1,0 +1,49 @@
+package par
+
+// ReduceChunk is the fixed tile width Reduce folds over. It is a constant —
+// not derived from the worker count — because the chunk grid is what makes a
+// reduction deterministic: partial results exist per chunk, and the final
+// merge walks chunks in ascending order, so the grouping of the fold is the
+// same whether one goroutine or sixteen did the work. (A per-worker grouping
+// would make floating-point merges depend on the width.)
+const ReduceChunk = 2048
+
+// Reduce folds fold over [0, n) and combines the per-chunk partial results
+// with merge, in ascending chunk order, starting each chunk from identity.
+//
+// The result is bit-identical for every worker count even when merge is not
+// commutative or not associative-with-fold, because the chunk grid is fixed
+// (see ReduceChunk) and the merge order is fixed. The only requirement is the
+// obvious one: fold and merge must be pure with respect to shared state.
+func Reduce[T any](workers, n int, identity T, fold func(acc T, i int) T, merge func(a, b T) T) T {
+	if n <= 0 {
+		return identity
+	}
+	nChunks := (n + ReduceChunk - 1) / ReduceChunk
+	if nChunks == 1 {
+		acc := identity
+		for i := 0; i < n; i++ {
+			acc = fold(acc, i)
+		}
+		return acc
+	}
+	partial := make([]T, nChunks)
+	For(workers, nChunks, func(_, clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*ReduceChunk, (c+1)*ReduceChunk
+			if hi > n {
+				hi = n
+			}
+			acc := identity
+			for i := lo; i < hi; i++ {
+				acc = fold(acc, i)
+			}
+			partial[c] = acc
+		}
+	})
+	out := identity
+	for c := 0; c < nChunks; c++ {
+		out = merge(out, partial[c])
+	}
+	return out
+}

@@ -76,33 +76,7 @@ func NewEvalBoundary(g *graph.Graph, p *Partition) *Eval {
 // level: part weights and cuts carry over projection verbatim, but node
 // identities do not, so the boundary set must be rebuilt per level.
 func (ev *Eval) ResetBoundary(g *graph.Graph, p *Partition) {
-	n := g.NumNodes()
-	if cap(ev.extDeg) >= n {
-		ev.extDeg = ev.extDeg[:n]
-		ev.bpos = ev.bpos[:n]
-		for i := range ev.extDeg {
-			ev.extDeg[i] = 0
-			ev.bpos[i] = 0
-		}
-	} else {
-		ev.extDeg = make([]int32, n)
-		ev.bpos = make([]int32, n)
-	}
-	ev.bnodes = ev.bnodes[:0]
-	a := p.Assign
-	for v := 0; v < n; v++ {
-		var ext int32
-		for _, u := range g.Neighbors(v) {
-			if a[u] != a[v] {
-				ext++
-			}
-		}
-		ev.extDeg[v] = ext
-		if ext > 0 {
-			ev.bnodes = append(ev.bnodes, int32(v))
-			ev.bpos[v] = int32(len(ev.bnodes))
-		}
-	}
+	ev.ResetBoundaryPar(g, p, 1)
 }
 
 // TracksBoundary reports whether this Eval maintains the boundary set.

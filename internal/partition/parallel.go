@@ -1,0 +1,173 @@
+package partition
+
+import (
+	"repro/internal/graph"
+	"repro/internal/par"
+)
+
+// evalChunk is the fixed tile width of the sharded Eval scans. Like
+// par.ReduceChunk, it is a constant rather than a function of the worker
+// count: every shard (partial weight/cut vector, boundary-count cell) belongs
+// to a chunk, and the merge walks chunks in ascending order, so the
+// accumulation grouping — and with it every last floating-point bit — is
+// identical for every worker count.
+const evalChunk = 2048
+
+// NewEvalPar is NewEval with the O(V+E) scan sharded over `workers`
+// goroutines: each fixed-width chunk of nodes accumulates its own partial
+// part-weight and part-cut vectors (a cut edge is owned by its
+// lower-numbered endpoint's chunk, mirroring the serial scan), and the
+// partials merge in ascending chunk order. The result is bit-identical for
+// every worker count; for graphs with integer-valued weights it is also
+// exactly NewEval's result (the reassociated sums are exact), which covers
+// every graph the multilevel pipeline produces from integer inputs.
+func NewEvalPar(g *graph.Graph, p *Partition, workers int) *Eval {
+	n := g.NumNodes()
+	parts := p.Parts
+	ev := &Eval{
+		Weights: make([]float64, parts),
+		Cuts:    make([]float64, parts),
+	}
+	if n == 0 {
+		return ev
+	}
+	a := p.Assign
+	nChunks := (n + evalChunk - 1) / evalChunk
+	partW := make([]float64, nChunks*parts)
+	partC := make([]float64, nChunks*parts)
+	par.For(workers, nChunks, func(_, clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*evalChunk, (c+1)*evalChunk
+			if hi > n {
+				hi = n
+			}
+			w := partW[c*parts : (c+1)*parts]
+			cu := partC[c*parts : (c+1)*parts]
+			for v := lo; v < hi; v++ {
+				w[a[v]] += g.NodeWeight(v)
+			}
+			for u := lo; u < hi; u++ {
+				nbrs := g.Neighbors(u)
+				ws := g.EdgeWeights(u)
+				for i, v := range nbrs {
+					if int(v) > u && a[u] != a[v] {
+						cu[a[u]] += ws[i]
+						cu[a[v]] += ws[i]
+					}
+				}
+			}
+		}
+	})
+	for c := 0; c < nChunks; c++ {
+		for q := 0; q < parts; q++ {
+			ev.Weights[q] += partW[c*parts+q]
+			ev.Cuts[q] += partC[c*parts+q]
+		}
+	}
+	return ev
+}
+
+// NewEvalBoundaryPar is NewEvalPar plus a parallel boundary build: the
+// sharded counterpart of NewEvalBoundary.
+func NewEvalBoundaryPar(g *graph.Graph, p *Partition, workers int) *Eval {
+	ev := NewEvalPar(g, p, workers)
+	ev.ResetBoundaryPar(g, p, workers)
+	return ev
+}
+
+// ResetBoundaryPar is ResetBoundary with the O(V+E) adjacency scan sharded
+// over `workers` goroutines. Phase one fills extDeg (every slot owned by
+// exactly one chunk) and counts each chunk's boundary members; a serial
+// prefix sum assigns each chunk its slice of bnodes; phase two writes the
+// members and their bpos slots in place. Chunks are contiguous ascending
+// node ranges, so the merged bnodes list is ascending — exactly the state
+// the serial ResetBoundary builds, bit for bit, at every worker count.
+func (ev *Eval) ResetBoundaryPar(g *graph.Graph, p *Partition, workers int) {
+	n := g.NumNodes()
+	if cap(ev.extDeg) >= n {
+		ev.extDeg = ev.extDeg[:n]
+		ev.bpos = ev.bpos[:n]
+	} else {
+		ev.extDeg = make([]int32, n)
+		ev.bpos = make([]int32, n)
+	}
+	if n == 0 {
+		ev.bnodes = ev.bnodes[:0]
+		return
+	}
+	a := p.Assign
+	nChunks := (n + evalChunk - 1) / evalChunk
+	counts := make([]int32, nChunks)
+	par.For(workers, nChunks, func(_, clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*evalChunk, (c+1)*evalChunk
+			if hi > n {
+				hi = n
+			}
+			var cnt int32
+			for v := lo; v < hi; v++ {
+				var ext int32
+				for _, u := range g.Neighbors(v) {
+					if a[u] != a[v] {
+						ext++
+					}
+				}
+				ev.extDeg[v] = ext
+				ev.bpos[v] = 0
+				if ext > 0 {
+					cnt++
+				}
+			}
+			counts[c] = cnt
+		}
+	})
+	var total int32
+	offs := counts // reuse: offs[c] becomes the chunk's first bnodes index
+	for c := 0; c < nChunks; c++ {
+		cnt := counts[c]
+		offs[c] = total
+		total += cnt
+	}
+	if cap(ev.bnodes) >= int(total) {
+		ev.bnodes = ev.bnodes[:total]
+	} else {
+		ev.bnodes = make([]int32, total)
+	}
+	par.For(workers, nChunks, func(_, clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*evalChunk, (c+1)*evalChunk
+			if hi > n {
+				hi = n
+			}
+			idx := offs[c]
+			for v := lo; v < hi; v++ {
+				if ev.extDeg[v] > 0 {
+					ev.bnodes[idx] = int32(v)
+					ev.bpos[v] = idx + 1
+					idx++
+				}
+			}
+		}
+	})
+}
+
+// BoundaryLen returns the size of the tracked boundary set. It panics if
+// tracking is not enabled.
+func (ev *Eval) BoundaryLen() int {
+	if ev.extDeg == nil {
+		panic("partition: BoundaryLen called on Eval without boundary tracking")
+	}
+	return len(ev.bnodes)
+}
+
+// BoundaryNode returns the i-th tracked boundary node in the set's internal
+// order — arbitrary, but fixed between Moves, which is what parallel argmax
+// scans over par-owned index ranges need (callers wanting deterministic
+// results break ties on node id, exactly as with ForEachBoundary). It panics
+// if tracking is not enabled.
+func (ev *Eval) BoundaryNode(i int) int {
+	if ev.extDeg == nil {
+		panic("partition: BoundaryNode called on Eval without boundary tracking")
+	}
+	return int(ev.bnodes[i])
+}

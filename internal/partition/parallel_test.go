@@ -1,0 +1,147 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// parTestWidths are the worker counts every sharded routine is pinned at;
+// 0 resolves to GOMAXPROCS.
+var parTestWidths = []int{1, 2, 4, 8, 0}
+
+// randomTestGraph builds a connected random graph with integer node and edge
+// weights (so reassociated float sums are exact and equality checks can be
+// bit-strict).
+func randomTestGraph(n int, seed int64) *graph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.SetNodeWeight(v, float64(1+rng.Intn(9)))
+	}
+	for v := 1; v < n; v++ {
+		b.AddEdge(v, rng.Intn(v), float64(1+rng.Intn(7)))
+	}
+	for i := 0; i < 3*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v && !b.HasEdge(u, v) {
+			b.AddEdge(u, v, float64(1+rng.Intn(7)))
+		}
+	}
+	return b.Build()
+}
+
+// requireEvalEqual asserts two Evals agree exactly: aggregates bit for bit,
+// and — when both track the boundary — the full boundary state (membership,
+// external degrees, and the internal bnodes order, which the parallel
+// rebuild promises to reproduce exactly).
+func requireEvalEqual(t *testing.T, label string, want, got *Eval) {
+	t.Helper()
+	for q := range want.Weights {
+		if want.Weights[q] != got.Weights[q] {
+			t.Fatalf("%s: part %d weight %v != %v", label, q, got.Weights[q], want.Weights[q])
+		}
+		if want.Cuts[q] != got.Cuts[q] {
+			t.Fatalf("%s: part %d cut %v != %v", label, q, got.Cuts[q], want.Cuts[q])
+		}
+	}
+	if want.TracksBoundary() != got.TracksBoundary() {
+		t.Fatalf("%s: tracking mismatch", label)
+	}
+	if !want.TracksBoundary() {
+		return
+	}
+	if len(want.bnodes) != len(got.bnodes) {
+		t.Fatalf("%s: boundary size %d != %d", label, len(got.bnodes), len(want.bnodes))
+	}
+	for i := range want.bnodes {
+		if want.bnodes[i] != got.bnodes[i] {
+			t.Fatalf("%s: bnodes[%d] = %d != %d", label, i, got.bnodes[i], want.bnodes[i])
+		}
+	}
+	for v := range want.extDeg {
+		if want.extDeg[v] != got.extDeg[v] {
+			t.Fatalf("%s: extDeg[%d] = %d != %d", label, v, got.extDeg[v], want.extDeg[v])
+		}
+		if want.bpos[v] != got.bpos[v] {
+			t.Fatalf("%s: bpos[%d] = %d != %d", label, v, got.bpos[v], want.bpos[v])
+		}
+	}
+}
+
+func TestNewEvalParMatchesSerial(t *testing.T) {
+	for _, n := range []int{1, 40, 500, 3000, 6000} {
+		g := randomTestGraph(n, int64(n))
+		rng := rand.New(rand.NewSource(int64(n) * 3))
+		parts := 2 + rng.Intn(7)
+		if parts > n {
+			parts = n
+		}
+		p := RandomBalanced(n, parts, rng)
+		want := NewEvalBoundary(g, p)
+		for _, workers := range parTestWidths {
+			got := NewEvalBoundaryPar(g, p, workers)
+			requireEvalEqual(t, "n/workers case", want, got)
+		}
+	}
+}
+
+func TestResetBoundaryParMatchesSerialAfterMoves(t *testing.T) {
+	// Drive a partition through random moves (with a serially-tracked Eval),
+	// then rebuild the boundary in parallel at several widths: every rebuild
+	// must reproduce the serially-rebuilt state exactly, including on the
+	// reused buffers of a dirty Eval.
+	g := randomTestGraph(2500, 11)
+	rng := rand.New(rand.NewSource(12))
+	p := RandomBalanced(2500, 5, rng)
+	ev := NewEvalBoundary(g, p)
+	for i := 0; i < 400; i++ {
+		ev.Move(g, p, rng.Intn(2500), rng.Intn(5))
+	}
+	want := NewEvalBoundary(g, p)
+	for _, workers := range parTestWidths {
+		got := ev.Clone()
+		got.ResetBoundaryPar(g, p, workers)
+		// Aggregates are carried by Move, not rebuilt — with integer weights
+		// they must still equal the fresh scan's exactly.
+		requireEvalEqual(t, "rebuild", want, got)
+	}
+}
+
+func TestBoundaryIndexedAccess(t *testing.T) {
+	g := randomTestGraph(300, 21)
+	p := RandomBalanced(300, 4, rand.New(rand.NewSource(22)))
+	ev := NewEvalBoundary(g, p)
+	seen := make(map[int]bool)
+	for i := 0; i < ev.BoundaryLen(); i++ {
+		seen[ev.BoundaryNode(i)] = true
+	}
+	for _, v := range ev.Boundary() {
+		if !seen[v] {
+			t.Fatalf("boundary node %d missing from indexed access", v)
+		}
+	}
+	if len(seen) != ev.BoundaryLen() {
+		t.Fatalf("indexed access yielded %d distinct nodes, boundary has %d", len(seen), ev.BoundaryLen())
+	}
+}
+
+func TestBoundaryAccessorsPanicWithoutTracking(t *testing.T) {
+	g := randomTestGraph(10, 1)
+	p := RandomBalanced(10, 2, rand.New(rand.NewSource(2)))
+	ev := NewEval(g, p)
+	for name, fn := range map[string]func(){
+		"BoundaryLen":  func() { ev.BoundaryLen() },
+		"BoundaryNode": func() { ev.BoundaryNode(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic without tracking", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -3,24 +3,46 @@ package service
 import "container/list"
 
 // lruCache maps cache keys to completed entries with least-recently-used
-// eviction. It is not self-locking: the Engine serializes access under its
-// own mutex, which also keeps the hit/eviction counters exact.
+// eviction, bounded by the total payload bytes it retains rather than an
+// entry count: one 100k-node partition pins ~200 KB while a 50-node one pins
+// a few hundred bytes, so a count bound would make the daemon's memory a
+// function of its workload mix. It is not self-locking: the Engine
+// serializes access under its own mutex, which also keeps the hit/eviction
+// counters exact.
 type lruCache struct {
-	capacity int
+	maxBytes int64
+	bytes    int64
 	order    *list.List // front = most recently used; values are *lruItem
 	items    map[string]*list.Element
 }
 
 type lruItem struct {
-	key string
-	ent *entry
+	key  string
+	ent  *entry
+	size int64
 }
 
-func newLRU(capacity int) *lruCache {
+// lruEntryOverhead approximates the per-entry bookkeeping beyond the result
+// payload: the entry/Result structs, the duplicated key (map key + item),
+// the list element, and map slot overhead.
+const lruEntryOverhead = 256
+
+// entryBytes is the payload-size accounting of one completed entry: the
+// assignment vector dominates (2 bytes per node), plus the key and the fixed
+// structural overhead.
+func entryBytes(key string, ent *entry) int64 {
+	var payload int64
+	if ent.result != nil {
+		payload = 2 * int64(len(ent.result.Assign))
+	}
+	return payload + 2*int64(len(key)) + lruEntryOverhead
+}
+
+func newLRU(maxBytes int64) *lruCache {
 	return &lruCache{
-		capacity: capacity,
+		maxBytes: maxBytes,
 		order:    list.New(),
-		items:    make(map[string]*list.Element, capacity),
+		items:    make(map[string]*list.Element),
 	}
 }
 
@@ -34,19 +56,29 @@ func (c *lruCache) get(key string) (*entry, bool) {
 	return el.Value.(*lruItem).ent, true
 }
 
-// add inserts a completed entry, reporting whether an older one was
-// evicted. The key is never already present: the engine's inflight map
-// admits one computation per key at a time, and completion moves the entry
-// from inflight to the cache atomically under the engine mutex.
-func (c *lruCache) add(key string, ent *entry) (evicted bool) {
-	c.items[key] = c.order.PushFront(&lruItem{key: key, ent: ent})
-	if c.order.Len() > c.capacity {
+// add inserts a completed entry and evicts from the LRU end until the byte
+// budget holds again, returning how many entries were evicted. The newest
+// entry itself is never evicted: a single result larger than the whole
+// budget is retained alone (and evicted by the next insert), so oversized
+// results stay cacheable instead of thrashing. The key is never already
+// present: the engine's inflight map admits one computation per key at a
+// time, and completion moves the entry from inflight to the cache atomically
+// under the engine mutex.
+func (c *lruCache) add(key string, ent *entry) (evicted int) {
+	size := entryBytes(key, ent)
+	c.items[key] = c.order.PushFront(&lruItem{key: key, ent: ent, size: size})
+	c.bytes += size
+	for c.bytes > c.maxBytes && c.order.Len() > 1 {
 		oldest := c.order.Back()
+		item := oldest.Value.(*lruItem)
 		c.order.Remove(oldest)
-		delete(c.items, oldest.Value.(*lruItem).key)
-		return true
+		delete(c.items, item.key)
+		c.bytes -= item.size
+		evicted++
 	}
-	return false
+	return evicted
 }
 
 func (c *lruCache) len() int { return c.order.Len() }
+
+func (c *lruCache) sizeBytes() int64 { return c.bytes }

@@ -35,8 +35,11 @@ type Config struct {
 	// Workers bounds how many partition computations run concurrently
 	// (<= 0 selects GOMAXPROCS, like every Workers knob in this repository).
 	Workers int
-	// CacheEntries bounds the completed-result LRU cache (<= 0 selects 256).
-	CacheEntries int
+	// CacheBytes bounds the completed-result LRU cache by total payload
+	// bytes — assignment vectors plus per-entry overhead, see entryBytes —
+	// rather than by entry count, so the daemon's cache memory is a real
+	// budget instead of a function of graph sizes (<= 0 selects 64 MiB).
+	CacheBytes int64
 	// JobParallelism is the Workers/EvalWorkers width each computation runs
 	// with (<= 0 divides GOMAXPROCS evenly across the pool). It never
 	// affects results, only speed.
@@ -103,18 +106,19 @@ type JobInfo struct {
 
 // Stats are the engine's instrumentation counters.
 type Stats struct {
-	Workers        int    `json:"workers"`
-	JobsSubmitted  uint64 `json:"jobs_submitted"`
-	JobsQueued     int    `json:"jobs_queued"`
-	JobsRunning    int    `json:"jobs_running"`
-	JobsDone       uint64 `json:"jobs_done"`
-	JobsFailed     uint64 `json:"jobs_failed"`
-	CacheHits      uint64 `json:"cache_hits"`      // completed-result hits
-	Coalesced      uint64 `json:"coalesced"`       // joined an identical in-flight computation
-	CacheMisses    uint64 `json:"cache_misses"`    // requests that had to compute
-	CacheEvictions uint64 `json:"cache_evictions"` // LRU evictions
-	CacheEntries   int    `json:"cache_entries"`
-	CacheCapacity  int    `json:"cache_capacity"`
+	Workers            int    `json:"workers"`
+	JobsSubmitted      uint64 `json:"jobs_submitted"`
+	JobsQueued         int    `json:"jobs_queued"`
+	JobsRunning        int    `json:"jobs_running"`
+	JobsDone           uint64 `json:"jobs_done"`
+	JobsFailed         uint64 `json:"jobs_failed"`
+	CacheHits          uint64 `json:"cache_hits"`      // completed-result hits
+	Coalesced          uint64 `json:"coalesced"`       // joined an identical in-flight computation
+	CacheMisses        uint64 `json:"cache_misses"`    // requests that had to compute
+	CacheEvictions     uint64 `json:"cache_evictions"` // LRU evictions
+	CacheEntries       int    `json:"cache_entries"`
+	CacheBytes         int64  `json:"cache_bytes"`          // payload bytes currently retained
+	CacheCapacityBytes int64  `json:"cache_capacity_bytes"` // the configured budget
 }
 
 // RequestError is a caller mistake (unknown algorithm, constraint
@@ -175,8 +179,8 @@ type Engine struct {
 // New starts an Engine with cfg's worker pool.
 func New(cfg Config) *Engine {
 	cfg.Workers = par.Workers(cfg.Workers)
-	if cfg.CacheEntries <= 0 {
-		cfg.CacheEntries = 256
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
 	}
 	if cfg.JobHistory <= 0 {
 		cfg.JobHistory = 4096
@@ -194,7 +198,7 @@ func New(cfg Config) *Engine {
 		cfg:      cfg,
 		jobs:     make(map[string]*job),
 		inflight: make(map[string]*entry),
-		cache:    newLRU(cfg.CacheEntries),
+		cache:    newLRU(cfg.CacheBytes),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.wg.Add(cfg.Workers)
@@ -370,18 +374,19 @@ func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Stats{
-		Workers:        e.cfg.Workers,
-		JobsSubmitted:  e.jobsSubmitted,
-		JobsQueued:     len(e.queue),
-		JobsRunning:    e.running,
-		JobsDone:       e.jobsDone,
-		JobsFailed:     e.jobsFailed,
-		CacheHits:      e.hits,
-		Coalesced:      e.coalesced,
-		CacheMisses:    e.misses,
-		CacheEvictions: e.evictions,
-		CacheEntries:   e.cache.len(),
-		CacheCapacity:  e.cfg.CacheEntries,
+		Workers:            e.cfg.Workers,
+		JobsSubmitted:      e.jobsSubmitted,
+		JobsQueued:         len(e.queue),
+		JobsRunning:        e.running,
+		JobsDone:           e.jobsDone,
+		JobsFailed:         e.jobsFailed,
+		CacheHits:          e.hits,
+		Coalesced:          e.coalesced,
+		CacheMisses:        e.misses,
+		CacheEvictions:     e.evictions,
+		CacheEntries:       e.cache.len(),
+		CacheBytes:         e.cache.sizeBytes(),
+		CacheCapacityBytes: e.cfg.CacheBytes,
 	}
 }
 
@@ -442,9 +447,7 @@ func (e *Engine) worker(slot int) {
 			ent.state = StateDone
 			ent.result = res
 			e.jobsDone++
-			if evicted := e.cache.add(ent.key, ent); evicted {
-				e.evictions++
-			}
+			e.evictions += uint64(e.cache.add(ent.key, ent))
 		}
 		ent.graph = nil // the CSR arrays are the bulk of a job's footprint
 		close(ent.done)

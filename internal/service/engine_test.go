@@ -47,7 +47,7 @@ func waitDone(t *testing.T, e *service.Engine, id string) service.JobInfo {
 }
 
 func TestSubmitComputesAndCaches(t *testing.T) {
-	e := service.New(service.Config{Workers: 2, CacheEntries: 8})
+	e := service.New(service.Config{Workers: 2, CacheBytes: 1 << 20})
 	defer e.Close()
 	g := testGraph(t)
 	opts := algo.Options{Parts: 4, Seed: 42}
@@ -101,7 +101,7 @@ func TestSubmitComputesAndCaches(t *testing.T) {
 // The speed knobs must not fragment the cache: requests differing only in
 // Workers/EvalWorkers are the same computation.
 func TestSpeedKnobsNormalizedOutOfKey(t *testing.T) {
-	e := service.New(service.Config{Workers: 1, CacheEntries: 8})
+	e := service.New(service.Config{Workers: 1, CacheBytes: 1 << 20})
 	defer e.Close()
 	g := testGraph(t)
 	a, err := e.Submit(g, "multilevel-kl", algo.Options{Parts: 4, Seed: 7, Workers: 1})
@@ -122,7 +122,7 @@ func TestSpeedKnobsNormalizedOutOfKey(t *testing.T) {
 // vs edge list) hashes identically, so a resubmission in another format is
 // still a cache hit.
 func TestCacheKeyIsContentAddressed(t *testing.T) {
-	e := service.New(service.Config{Workers: 1, CacheEntries: 8})
+	e := service.New(service.Config{Workers: 1, CacheBytes: 1 << 20})
 	defer e.Close()
 	g := coordFree(t, testGraph(t))
 	var el bytes.Buffer
@@ -152,7 +152,7 @@ func TestCacheKeyIsContentAddressed(t *testing.T) {
 
 func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 	const n = 16
-	e := service.New(service.Config{Workers: 2, CacheEntries: 8})
+	e := service.New(service.Config{Workers: 2, CacheBytes: 1 << 20})
 	defer e.Close()
 	g := testGraph(t)
 	opts := algo.Options{Parts: 8, Seed: 5}
@@ -215,7 +215,7 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 func TestPoolWidthDoesNotChangeResults(t *testing.T) {
 	g := testGraph(t)
 	run := func(workers int) [][]uint16 {
-		e := service.New(service.Config{Workers: workers, CacheEntries: 16, JobParallelism: 1})
+		e := service.New(service.Config{Workers: workers, CacheBytes: 1 << 20, JobParallelism: 1})
 		defer e.Close()
 		var out [][]uint16
 		var ids []string
@@ -275,9 +275,24 @@ func TestConstraintRejection(t *testing.T) {
 }
 
 func TestCacheEviction(t *testing.T) {
-	e := service.New(service.Config{Workers: 1, CacheEntries: 2})
-	defer e.Close()
+	// Size the byte budget from a measured single entry: every result here is
+	// the same graph/algo shape, so a budget of 2.5 entries must retain
+	// exactly two and evict LRU-first on the third insert.
+	probe := service.New(service.Config{Workers: 1})
 	g := testGraph(t)
+	info, err := probe.Submit(g, "kl", algo.Options{Parts: 2, Seed: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, probe, info.ID)
+	entryBytes := probe.Stats().CacheBytes
+	probe.Close()
+	if entryBytes <= 0 {
+		t.Fatalf("probe reported %d cache bytes", entryBytes)
+	}
+
+	e := service.New(service.Config{Workers: 1, CacheBytes: entryBytes*2 + entryBytes/2})
+	defer e.Close()
 	for seed := int64(0); seed < 3; seed++ {
 		info, err := e.Submit(g, "kl", algo.Options{Parts: 2, Seed: seed})
 		if err != nil {
@@ -289,9 +304,15 @@ func TestCacheEviction(t *testing.T) {
 	if s.CacheEvictions != 1 || s.CacheEntries != 2 {
 		t.Errorf("evictions %d entries %d; want 1, 2", s.CacheEvictions, s.CacheEntries)
 	}
+	if s.CacheBytes != 2*entryBytes {
+		t.Errorf("cache retains %d bytes, want %d (2 entries)", s.CacheBytes, 2*entryBytes)
+	}
+	if s.CacheBytes > s.CacheCapacityBytes {
+		t.Errorf("cache bytes %d exceed the %d budget", s.CacheBytes, s.CacheCapacityBytes)
+	}
 	// kl ignores Seed (deterministic), so seed 0 recomputes to the same
 	// partition after eviction — the determinism the cache key relies on.
-	info, err := e.Submit(g, "kl", algo.Options{Parts: 2, Seed: 0})
+	info, err = e.Submit(g, "kl", algo.Options{Parts: 2, Seed: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +325,7 @@ func TestCacheEviction(t *testing.T) {
 // The job table must not grow with total request count: old finished jobs
 // fall out of the history bound (the daemon runs indefinitely).
 func TestJobHistoryBounded(t *testing.T) {
-	e := service.New(service.Config{Workers: 1, CacheEntries: 4, JobHistory: 8})
+	e := service.New(service.Config{Workers: 1, CacheBytes: 1 << 20, JobHistory: 8})
 	defer e.Close()
 	g := testGraph(t)
 	var first string

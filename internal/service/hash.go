@@ -18,11 +18,11 @@ import (
 // returning a cached result sound — and bit-identical.
 func cacheKey(g *graph.Graph, algoName string, o algo.Options) string {
 	h := hashGraph(g)
-	return fmt.Sprintf("%s:%s:p%d.o%d.s%d.g%d.n%d.i%d.r%d.c%d",
+	return fmt.Sprintf("%s:%s:p%d.o%d.s%d.g%d.n%d.i%d.r%d.c%d.l%d",
 		hex.EncodeToString(h[:16]), algoName,
 		o.Parts, int(o.Objective), o.Seed,
 		o.Generations, o.PopSize, o.Islands,
-		o.RefinePasses, o.CoarsestSize)
+		o.RefinePasses, o.CoarsestSize, o.LanczosIter)
 }
 
 // hashGraph digests a graph's full content — structure, node and edge

@@ -47,6 +47,7 @@ type PartitionRequest struct {
 	Islands      int  `json:"islands,omitempty"`
 	RefinePasses int  `json:"refine_passes,omitempty"`
 	CoarsestSize int  `json:"coarsest_size,omitempty"`
+	LanczosIter  int  `json:"lanczos_iter,omitempty"`
 	Wait         bool `json:"wait,omitempty"`
 }
 
@@ -230,6 +231,7 @@ func optionsFromRequest(req *PartitionRequest) (algo.Options, *RequestError) {
 		Islands:      req.Islands,
 		RefinePasses: req.RefinePasses,
 		CoarsestSize: req.CoarsestSize,
+		LanczosIter:  req.LanczosIter,
 	}
 	switch req.Objective {
 	case "", "total":

@@ -259,7 +259,7 @@ func TestHTTPAlgosReflectsRegistry(t *testing.T) {
 }
 
 func TestHTTPStats(t *testing.T) {
-	ts, _ := newTestServer(t, service.Config{Workers: 3, CacheEntries: 5})
+	ts, _ := newTestServer(t, service.Config{Workers: 3, CacheBytes: 5 << 10})
 	payload := metisPayload(t, 120)
 	for i := 0; i < 2; i++ {
 		status, data := postPartition(t, ts.URL, service.PartitionRequest{
@@ -278,7 +278,7 @@ func TestHTTPStats(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
 		t.Fatal(err)
 	}
-	if s.Workers != 3 || s.CacheCapacity != 5 {
+	if s.Workers != 3 || s.CacheCapacityBytes != 5<<10 {
 		t.Errorf("config not reflected: %+v", s)
 	}
 	if s.JobsSubmitted != 2 || s.CacheMisses != 1 || s.CacheHits != 1 || s.JobsDone != 1 {

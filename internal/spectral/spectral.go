@@ -62,6 +62,17 @@ const denseThreshold = 400
 // second eigenvalue is 0 and the vector is a component indicator, useless
 // for bisection); it returns an error if not.
 func Fiedler(g *graph.Graph, rng *rand.Rand) ([]float64, error) {
+	return FiedlerIter(g, rng, 0)
+}
+
+// FiedlerIter is Fiedler with an explicit Lanczos iteration budget: maxIter
+// caps the Krylov dimension of the sparse solve (0 selects the solver
+// default, currently 40). Full reorthogonalization makes each solve cost
+// O(maxIter² · n), so the budget is what bounds spectral bisection's wall
+// time on large graphs — a smaller budget trades Fiedler accuracy (and so
+// split quality) for a hard runtime cap. The dense path below denseThreshold
+// is exact and ignores the budget.
+func FiedlerIter(g *graph.Graph, rng *rand.Rand, maxIter int) ([]float64, error) {
 	n := g.NumNodes()
 	if n < 2 {
 		return nil, fmt.Errorf("spectral: graph too small (n=%d)", n)
@@ -85,7 +96,7 @@ func Fiedler(g *graph.Graph, rng *rand.Rand) ([]float64, error) {
 	for i := range ones {
 		ones[i] = 1
 	}
-	_, V, err := linalg.Lanczos(laplacianOp{g}, 1, rng, [][]float64{ones}, 0)
+	_, V, err := linalg.Lanczos(laplacianOp{g}, 1, rng, [][]float64{ones}, maxIter)
 	if err != nil {
 		return nil, err
 	}
@@ -100,11 +111,17 @@ func Fiedler(g *graph.Graph, rng *rand.Rand) ([]float64, error) {
 // vector. It returns the side (0 or 1) of each node. Ties at the median are
 // broken by node index so the split is always ⌈n/2⌉/⌊n/2⌋.
 func Bisect(g *graph.Graph, rng *rand.Rand) ([]int, error) {
+	return BisectIter(g, rng, 0)
+}
+
+// BisectIter is Bisect with an explicit Lanczos iteration budget (see
+// FiedlerIter; 0 selects the default).
+func BisectIter(g *graph.Graph, rng *rand.Rand, maxIter int) ([]int, error) {
 	n := g.NumNodes()
 	if n == 1 {
 		return []int{0}, nil
 	}
-	f, err := Fiedler(g, rng)
+	f, err := FiedlerIter(g, rng, maxIter)
 	if err != nil {
 		return nil, err
 	}
@@ -129,6 +146,15 @@ func Bisect(g *graph.Graph, rng *rand.Rand) ([]int, error) {
 // arise during recursion are handled by separating components before
 // bisecting.
 func Partition(g *graph.Graph, parts int, rng *rand.Rand) (*partition.Partition, error) {
+	return PartitionIter(g, parts, rng, 0)
+}
+
+// PartitionIter is Partition with an explicit Lanczos iteration budget
+// applied to every bisection level (see FiedlerIter; 0 selects the default).
+// The budget is what makes RSB's runtime on large graphs a predictable
+// O(levels · maxIter² · n) instead of an accuracy-chasing unknown, and is
+// exposed through algo.Options.LanczosIter.
+func PartitionIter(g *graph.Graph, parts int, rng *rand.Rand, lanczosIter int) (*partition.Partition, error) {
 	if parts <= 0 || parts&(parts-1) != 0 {
 		return nil, fmt.Errorf("spectral: parts must be a power of two, got %d", parts)
 	}
@@ -137,14 +163,14 @@ func Partition(g *graph.Graph, parts int, rng *rand.Rand) (*partition.Partition,
 	for i := range nodes {
 		nodes[i] = i
 	}
-	if err := recurse(g, nodes, 0, parts, p, rng); err != nil {
+	if err := recurse(g, nodes, 0, parts, p, rng, lanczosIter); err != nil {
 		return nil, err
 	}
 	return p, nil
 }
 
 // recurse assigns the given nodes to parts [base, base+span).
-func recurse(g *graph.Graph, nodes []int, base, span int, p *partition.Partition, rng *rand.Rand) error {
+func recurse(g *graph.Graph, nodes []int, base, span int, p *partition.Partition, rng *rand.Rand, lanczosIter int) error {
 	if span == 1 {
 		for _, v := range nodes {
 			p.Assign[v] = uint16(base)
@@ -155,7 +181,7 @@ func recurse(g *graph.Graph, nodes []int, base, span int, p *partition.Partition
 		return nil
 	}
 	sub, orig := g.InducedSubgraph(nodes)
-	side, err := bisectAny(sub, rng)
+	side, err := bisectAny(sub, rng, lanczosIter)
 	if err != nil {
 		return fmt.Errorf("spectral: bisecting %d nodes: %w", len(nodes), err)
 	}
@@ -167,10 +193,10 @@ func recurse(g *graph.Graph, nodes []int, base, span int, p *partition.Partition
 			right = append(right, orig[i])
 		}
 	}
-	if err := recurse(g, left, base, span/2, p, rng); err != nil {
+	if err := recurse(g, left, base, span/2, p, rng, lanczosIter); err != nil {
 		return err
 	}
-	return recurse(g, right, base+span/2, span/2, p, rng)
+	return recurse(g, right, base+span/2, span/2, p, rng, lanczosIter)
 }
 
 // bisectAny bisects a possibly-disconnected graph into two balanced sides.
@@ -182,14 +208,14 @@ func recurse(g *graph.Graph, nodes []int, base, span int, p *partition.Partition
 // packing is redone. Item count grows strictly each round, so the loop
 // terminates — in the worst case with single-node items, which pack to
 // within one node.
-func bisectAny(g *graph.Graph, rng *rand.Rand) ([]int, error) {
+func bisectAny(g *graph.Graph, rng *rand.Rand, lanczosIter int) ([]int, error) {
 	n := g.NumNodes()
 	if n == 1 {
 		return []int{0}, nil
 	}
 	comp, count := g.Components()
 	if count == 1 {
-		return Bisect(g, rng)
+		return BisectIter(g, rng, lanczosIter)
 	}
 	items := make([][]int, count)
 	for v, c := range comp {
@@ -246,7 +272,7 @@ func bisectAny(g *graph.Graph, rng *rand.Rand) ([]int, error) {
 		sub, orig := g.InducedSubgraph(items[pick])
 		var newItems [][]int
 		if sub.IsConnected() {
-			inner, err := Bisect(sub, rng)
+			inner, err := BisectIter(sub, rng, lanczosIter)
 			if err != nil {
 				return nil, err
 			}

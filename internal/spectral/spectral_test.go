@@ -277,3 +277,41 @@ func TestQuickRSBBalance(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The Lanczos iteration budget must be honored end to end: a tiny budget
+// still yields a valid, deterministic power-of-two partition (at some split
+// quality cost), and the default budget path is unchanged by passing 0.
+func TestPartitionIterBudget(t *testing.T) {
+	g := gen.Mesh(900, 77) // above denseThreshold: the sparse path runs
+	zero, err := PartitionIter(g, 4, rand.New(rand.NewSource(5)), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Partition(g, 4, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range zero.Assign {
+		if zero.Assign[v] != full.Assign[v] {
+			t.Fatalf("budget 0 diverged from the default path at node %d", v)
+		}
+	}
+	for _, budget := range []int{6, 12} {
+		a, err := PartitionIter(g, 4, rand.New(rand.NewSource(5)), budget)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if err := a.Validate(g); err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		b, err := PartitionIter(g, 4, rand.New(rand.NewSource(5)), budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range a.Assign {
+			if a.Assign[v] != b.Assign[v] {
+				t.Fatalf("budget %d not deterministic at node %d", budget, v)
+			}
+		}
+	}
+}
