@@ -37,6 +37,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/gio"
 	"repro/internal/paperdata"
+	"repro/internal/partition"
 )
 
 var compare = flag.Bool("compare", false, "print a measured-vs-paper winner comparison after each table")
@@ -62,6 +63,7 @@ func main() {
 		tol       = flag.Float64("tol", 0.10, "allowed relative cut increase vs the baseline")
 		exact     = flag.Bool("exact", false, "require cuts identical to the baseline in both directions (the determinism gate)")
 		repeat    = flag.Int("repeat", 1, "timing repetitions per (case, algorithm) pair")
+		objective = flag.String("objective", "cut", "comma-separated objectives to benchmark: cut | maxcut | commvol (algorithms lacking one produce error rows)")
 		mlWorkers = flag.Int("workers", 0, "parallel V-cycle goroutines: coarsening, contraction, projection, and colored refinement (0 = auto; results are identical for any value)")
 		lanczos   = flag.Int("lanczos", 0, "rsb: Lanczos iteration budget per Fiedler solve (0 = default 40)")
 	)
@@ -79,6 +81,7 @@ func main() {
 			tol:      *tol,
 			exact:    *exact,
 			repeat:   *repeat,
+			objCSV:   *objective,
 			evalW:    *workers,
 			workers:  *mlWorkers,
 			lanczos:  *lanczos,
@@ -161,9 +164,10 @@ type benchRun struct {
 	tol      float64
 	exact    bool
 	repeat   int
-	evalW    int // GA fitness-evaluation width
-	workers  int // multilevel pipeline width
-	lanczos  int // rsb Lanczos iteration budget
+	objCSV   string // comma-separated objectives; "" = cut only
+	evalW    int    // GA fitness-evaluation width
+	workers  int    // multilevel pipeline width
+	lanczos  int    // rsb Lanczos iteration budget
 }
 
 // runBench executes a JSON benchmark suite, optionally writes the artifact,
@@ -207,16 +211,43 @@ func runBench(cfg benchRun) {
 			fail(err)
 		}
 	}
+	objectives := []partition.Objective{partition.TotalCut}
+	if cfg.objCSV != "" {
+		objectives = nil
+		for _, s := range strings.Split(cfg.objCSV, ",") {
+			o, err := partition.ParseObjective(strings.TrimSpace(s))
+			if err != nil {
+				fail(err)
+			}
+			objectives = append(objectives, o)
+		}
+	}
 	opt := algo.Options{Seed: gen.SuiteSeed, EvalWorkers: cfg.evalW, Workers: cfg.workers, LanczosIter: cfg.lanczos}
 	start := time.Now()
-	rep := bench.RunJSON(suiteName, cases, names, opt, cfg.repeat)
+	// One report covers every requested objective: RunJSON tags each result
+	// row, and the comparison gates key on (case, algo, objective).
+	var rep *bench.Report
+	for _, o := range objectives {
+		oOpt := opt
+		oOpt.Objective = o
+		r := bench.RunJSON(suiteName, cases, names, oOpt, cfg.repeat)
+		if rep == nil {
+			rep = r
+		} else {
+			rep.Results = append(rep.Results, r.Results...)
+		}
+	}
 	for _, r := range rep.Results {
+		obj := r.Objective
+		if obj == "" {
+			obj = "cut"
+		}
 		if r.Error != "" {
-			fmt.Printf("%-16s %-15s skipped: %s\n", r.Case, r.Algo, r.Error)
+			fmt.Printf("%-16s %-15s %-8s skipped: %s\n", r.Case, r.Algo, obj, r.Error)
 			continue
 		}
-		fmt.Printf("%-16s %-15s cut %8.0f  balance %.3f  %12s\n",
-			r.Case, r.Algo, r.Cut, r.Balance, time.Duration(r.NsPerOp))
+		fmt.Printf("%-16s %-15s %-8s %s %8.0f  balance %.3f  %12s\n",
+			r.Case, r.Algo, obj, r.MetricName(), r.Metric(), r.Balance, time.Duration(r.NsPerOp))
 	}
 	fmt.Printf("benchmark suite %q: %d results in %s\n",
 		suiteName, len(rep.Results), time.Since(start).Round(time.Millisecond))

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gapart -in mesh.g -algo dknux -parts 8 [-objective worst] [-gens 200]
+//	gapart -in mesh.g -algo dknux -parts 8 [-objective maxcut] [-gens 200]
 //	gapart -in web.metis -informat metis -algo multilevel-kl -parts 8
 //	gapart -mesh 10000 -algo multilevel-kl -parts 8
 //	gapart -list
@@ -40,7 +40,7 @@ func main() {
 		algoName  = flag.String("algo", "dknux", "algorithm registry name (see -list)")
 		list      = flag.Bool("list", false, "print the registered algorithms and exit")
 		parts     = flag.Int("parts", 4, "number of parts")
-		objective = flag.String("objective", "total", "fitness function: total (Fitness 1) or worst (Fitness 2)")
+		objective = flag.String("objective", "cut", "objective: cut (total edge cut) | maxcut (worst-part cut) | commvol (communication volume); legacy total/worst accepted")
 		gens      = flag.Int("gens", 0, "GA generations (0 = default)")
 		pop       = flag.Int("pop", 0, "GA total population (0 = default)")
 		islands   = flag.Int("islands", 0, "GA subpopulations (0 = default, 1 = single population)")
@@ -68,11 +68,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	obj := partition.TotalCut
-	if *objective == "worst" {
-		obj = partition.WorstCut
-	} else if *objective != "total" {
-		fatal(fmt.Errorf("unknown objective %q", *objective))
+	obj, err := partition.ParseObjective(*objective)
+	if err != nil {
+		fatal(err)
 	}
 
 	p, err := algo.Run(g, *algoName, algo.Options{
@@ -133,6 +131,13 @@ func listAlgorithms() {
 		if info.Stochastic {
 			notes = append(notes, "seeded")
 		}
+		if len(info.Objectives) > 0 {
+			var objs []string
+			for _, o := range info.Objectives {
+				objs = append(objs, o.FlagName())
+			}
+			notes = append(notes, "objectives: cut, "+strings.Join(objs, ", "))
+		}
 		suffix := ""
 		if len(notes) > 0 {
 			suffix = " [" + strings.Join(notes, ", ") + "]"
@@ -160,8 +165,9 @@ func loadGraph(path, format string, meshN int) (*graph.Graph, error) {
 
 func report(g *graph.Graph, p *partition.Partition, obj partition.Objective) {
 	fmt.Printf("nodes: %d  edges: %d  parts: %d\n", g.NumNodes(), g.NumEdges(), p.Parts)
-	fmt.Printf("cut size (sum_q C(q)/2): %.0f\n", p.CutSize(g))
-	fmt.Printf("worst cut (max_q C(q)):  %.0f\n", p.MaxPartCut(g))
+	fmt.Printf("cut size (sum_q C(q)/2): %.0f\n", p.ObjectiveValue(g, partition.TotalCut))
+	fmt.Printf("worst cut (max_q C(q)):  %.0f\n", p.ObjectiveValue(g, partition.WorstCut))
+	fmt.Printf("comm volume (sum_q V(q)): %.0f\n", p.ObjectiveValue(g, partition.CommVolume))
 	fmt.Printf("imbalance^2:             %.2f\n", p.ImbalanceSq(g))
 	fmt.Printf("part sizes:              %v\n", p.PartSizes())
 	fmt.Printf("fitness (%s): %.2f\n", obj, p.Fitness(g, obj))

@@ -59,20 +59,17 @@ func main() {
 
 	fmt.Printf("summary: total-cut objective -> max_q C(q) = %.0f;"+
 		" worst-cut objective -> max_q C(q) = %.0f\n",
-		total.MaxPartCut(g), worst.MaxPartCut(g))
+		total.ObjectiveValue(g, partition.WorstCut),
+		worst.ObjectiveValue(g, partition.WorstCut))
 	fmt.Println("Fitness 2 trades a little total volume for a flatter profile —")
 	fmt.Println("exactly what a bulk-synchronous solver's critical path wants.")
 }
 
 func profile(g *graph.Graph, p *partition.Partition) {
-	cuts := p.PartCuts(g)
-	var max, sum float64
-	for _, c := range cuts {
-		sum += c
-		if c > max {
-			max = c
-		}
-	}
-	fmt.Printf("  per-part C(q): %.0f\n", cuts)
-	fmt.Printf("  total cut=%.0f  worst part=%.0f  sizes=%v\n\n", sum/2, max, p.PartSizes())
+	fmt.Printf("  per-part C(q): %.0f\n", p.PartCuts(g))
+	fmt.Printf("  total cut=%.0f  worst part=%.0f  commvol=%.0f  sizes=%v\n\n",
+		p.ObjectiveValue(g, partition.TotalCut),
+		p.ObjectiveValue(g, partition.WorstCut),
+		p.ObjectiveValue(g, partition.CommVolume),
+		p.PartSizes())
 }

@@ -88,6 +88,28 @@ type Info struct {
 	// Stochastic marks algorithms whose result depends on Options.Seed
 	// (they are still deterministic for a fixed seed).
 	Stochastic bool
+	// Objectives lists the non-default objectives the algorithm honors.
+	// TotalCut (the zero Options.Objective) is supported by every algorithm
+	// and never listed; an algorithm that honors only the default declares
+	// nothing. Run rejects a request whose objective the algorithm does not
+	// declare, so a caller can never silently receive a cut-optimized
+	// partition when it asked for, say, communication volume.
+	Objectives []partition.Objective
+}
+
+// SupportsObjective reports whether the algorithm honors objective o.
+// TotalCut is supported universally; any other objective must be declared in
+// Objectives.
+func (i Info) SupportsObjective(o partition.Objective) bool {
+	if o == partition.TotalCut {
+		return true
+	}
+	for _, d := range i.Objectives {
+		if d == o {
+			return true
+		}
+	}
+	return false
 }
 
 // Partitioner is the unified interface every algorithm adapts to.
@@ -172,6 +194,9 @@ func Run(g *graph.Graph, name string, opt Options) (*partition.Partition, error)
 	}
 	if info.PowerOfTwoParts && opt.Parts&(opt.Parts-1) != 0 {
 		return nil, fmt.Errorf("algo: %s requires a power-of-two part count, got %d", name, opt.Parts)
+	}
+	if !info.SupportsObjective(opt.Objective) {
+		return nil, fmt.Errorf("algo: %s does not support objective %s", name, opt.Objective.FlagName())
 	}
 	return p.Partition(g, opt)
 }

@@ -1,0 +1,125 @@
+package algo
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/partition"
+)
+
+func TestSupportsObjective(t *testing.T) {
+	none := Info{Name: "x"}
+	if !none.SupportsObjective(partition.TotalCut) {
+		t.Error("every algorithm must support the default cut objective")
+	}
+	if none.SupportsObjective(partition.WorstCut) || none.SupportsObjective(partition.CommVolume) {
+		t.Error("undeclared objectives reported as supported")
+	}
+	some := Info{Name: "y", Objectives: []partition.Objective{partition.WorstCut}}
+	if !some.SupportsObjective(partition.WorstCut) {
+		t.Error("declared objective reported as unsupported")
+	}
+	if some.SupportsObjective(partition.CommVolume) {
+		t.Error("commvol reported as supported without a declaration")
+	}
+}
+
+// Run must reject an objective the algorithm does not declare — before doing
+// any work — and never silently optimize a different objective.
+func TestRunValidatesObjective(t *testing.T) {
+	g := gen.Mesh(120, 7)
+	for _, c := range []struct {
+		algo string
+		o    partition.Objective
+	}{
+		{"grow", partition.WorstCut},
+		{"grow", partition.CommVolume},
+		{"fm", partition.CommVolume},
+		{"multilevel-fm", partition.CommVolume},
+		{"rsb", partition.WorstCut},
+	} {
+		opt := quickOpt(4)
+		opt.Objective = c.o
+		_, err := Run(g, c.algo, opt)
+		if err == nil || !strings.Contains(err.Error(), "does not support objective") {
+			t.Errorf("%s with %s: got %v, want unsupported-objective error", c.algo, c.o.FlagName(), err)
+		}
+	}
+}
+
+// Registry-wide objective conformance: every (algorithm, declared objective)
+// pair must actually run and return a valid deterministic partition — a
+// declaration without an implementation is a lie the service layer would
+// forward to clients.
+func TestRegistryObjectiveConformance(t *testing.T) {
+	g := gen.Mesh(240, 7)
+	const parts = 4
+	for _, name := range Names() {
+		prov, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := prov.Info()
+		if info.NeedsCoords && !g.HasCoords() {
+			continue
+		}
+		for _, o := range info.Objectives {
+			name, o := name, o
+			t.Run(name+"/"+o.FlagName(), func(t *testing.T) {
+				opt := quickOpt(parts)
+				opt.Objective = o
+				p, err := Run(g, name, opt)
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if err := p.Validate(g); err != nil {
+					t.Fatalf("invalid partition: %v", err)
+				}
+				p2, err := Run(g, name, opt)
+				if err != nil {
+					t.Fatalf("second run: %v", err)
+				}
+				for v := range p.Assign {
+					if p.Assign[v] != p2.Assign[v] {
+						t.Fatal("objective run not reproducible for a fixed seed")
+					}
+				}
+			})
+		}
+	}
+}
+
+// The Workers determinism contract holds under every objective the multilevel
+// pipelines declare: worker width must never leak into the result.
+func TestMultilevelObjectiveWorkersBitIdentical(t *testing.T) {
+	g := gen.Mesh(1200, 9)
+	for _, name := range []string{"multilevel-kl", "multilevel-fm"} {
+		prov, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range prov.Info().Objectives {
+			opt := quickOpt(4)
+			opt.Objective = o
+			opt.Workers = 1
+			ref, err := Run(g, name, opt)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", name, o.FlagName(), err)
+			}
+			for _, w := range []int{2, 4, 8} {
+				opt.Workers = w
+				p, err := Run(g, name, opt)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", name, o.FlagName(), w, err)
+				}
+				for v := range ref.Assign {
+					if ref.Assign[v] != p.Assign[v] {
+						t.Fatalf("%s/%s: workers=%d node %d in part %d, serial %d",
+							name, o.FlagName(), w, v, p.Assign[v], ref.Assign[v])
+					}
+				}
+			}
+		}
+	}
+}

@@ -26,7 +26,10 @@ func init() {
 		{"2pt", "GA with two-point crossover"},
 	} {
 		op := op
-		Register(New(Info{Name: op.name, Description: op.desc, Stochastic: true},
+		Register(New(Info{
+			Name: op.name, Description: op.desc, Stochastic: true,
+			Objectives: []partition.Objective{partition.WorstCut},
+		},
 			func(g *graph.Graph, opt Options) (*partition.Partition, error) {
 				return runGA(g, op.name, opt)
 			}))
@@ -69,24 +72,26 @@ func init() {
 	Register(New(Info{
 		Name:        "kl",
 		Description: "flat Kernighan–Lin: region-growing start, colored boundary hill climbing to convergence",
+		Objectives:  []partition.Objective{partition.WorstCut, partition.CommVolume},
 	}, func(g *graph.Graph, opt Options) (*partition.Partition, error) {
 		p, err := greedy.RegionGrow(g, opt.Parts)
 		if err != nil {
 			return nil, err
 		}
-		kl.RefineEvalPar(g, p, nil, opt.RefinePasses, opt.Workers)
+		kl.RefineEvalPar(g, p, nil, opt.Objective, opt.RefinePasses, opt.Workers)
 		return p, nil
 	}))
 
 	Register(New(Info{
 		Name:        "fm",
 		Description: "flat Fiduccia–Mattheyses: region-growing start, bucket-gain passes",
+		Objectives:  []partition.Objective{partition.WorstCut},
 	}, func(g *graph.Graph, opt Options) (*partition.Partition, error) {
 		p, err := greedy.RegionGrow(g, opt.Parts)
 		if err != nil {
 			return nil, err
 		}
-		fm.Refine(g, p, fm.Config{MaxPasses: opt.RefinePasses, Workers: opt.Workers})
+		fm.Refine(g, p, fm.Config{MaxPasses: opt.RefinePasses, Workers: opt.Workers, Objective: opt.Objective})
 		return p, nil
 	}))
 
@@ -94,6 +99,7 @@ func init() {
 		Name:        "anneal",
 		Description: "simulated annealing over single-node moves (geometric cooling)",
 		Stochastic:  true,
+		Objectives:  []partition.Objective{partition.WorstCut},
 	}, func(g *graph.Graph, opt Options) (*partition.Partition, error) {
 		return anneal.Partition(g, anneal.Config{
 			Parts:     opt.Parts,
@@ -129,23 +135,30 @@ func init() {
 	// per-level refinement. "multilevel" is the workhorse configuration
 	// (KL inner, KL boundary refinement); the suffixed variants swap the
 	// inner solver and, for -fm, the refiner.
+	// All declare maxcut; the KL-refined pipelines additionally declare
+	// commvol (the pure-FM pipeline cannot — fm has no commvol support).
 	registerMultilevel("multilevel", "kl", multilevel.RefineKLFM, Info{
 		Description: "multilevel: heavy-edge coarsening, KL inner solver, boundary-KL/FM uncoarsening (same as multilevel-kl)",
+		Objectives:  []partition.Objective{partition.WorstCut, partition.CommVolume},
 	})
 	registerMultilevel("multilevel-kl", "kl", multilevel.RefineKLFM, Info{
 		Description: "multilevel with flat-KL inner solver and boundary-KL/FM refinement",
+		Objectives:  []partition.Objective{partition.WorstCut, partition.CommVolume},
 	})
 	registerMultilevel("multilevel-fm", "fm", multilevel.RefineFM, Info{
 		Description: "multilevel with FM inner solver and pure-FM refinement (plus rebalancing)",
+		Objectives:  []partition.Objective{partition.WorstCut},
 	})
 	registerMultilevel("multilevel-rsb", "rsb", multilevel.RefineKLFM, Info{
 		Description:     "multilevel with spectral (RSB) inner solver and boundary-KL/FM refinement",
 		PowerOfTwoParts: true,
 		Stochastic:      true,
+		Objectives:      []partition.Objective{partition.WorstCut, partition.CommVolume},
 	})
 	registerMultilevel("multilevel-ga", "dknux", multilevel.RefineKLFM, Info{
 		Description: "multilevel with the paper's DKNUX GA as inner solver and boundary-KL/FM refinement",
 		Stochastic:  true,
+		Objectives:  []partition.Objective{partition.WorstCut, partition.CommVolume},
 	})
 }
 
@@ -171,6 +184,13 @@ func registerMultilevel(name, innerName string, refiner multilevel.Refiner, info
 			if io.Islands == 0 {
 				io.Islands = 4
 			}
+			// The inner solver may honor fewer objectives than the pipeline
+			// (e.g. the DKNUX GA has no commvol fitness): fall back to the
+			// universal TotalCut for the coarse solve and let the declared
+			// uncoarsening refiners drive the requested objective.
+			if ip, err := Get(innerName); err == nil && !ip.Info().SupportsObjective(io.Objective) {
+				io.Objective = partition.TotalCut
+			}
 			return Run(cg, innerName, io)
 		}
 		return multilevel.Partition(g, multilevel.Config{
@@ -179,6 +199,7 @@ func registerMultilevel(name, innerName string, refiner multilevel.Refiner, info
 			RefinePasses: opt.RefinePasses,
 			Refiner:      refiner,
 			Workers:      opt.Workers,
+			Objective:    opt.Objective,
 			Seed:         opt.Seed,
 		}, inner)
 	}))

@@ -12,6 +12,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/partition"
 )
 
 // SchemaVersion identifies the JSON layout of Report. Bump it on any
@@ -29,16 +30,47 @@ type Result struct {
 	Edges int    `json:"edges"`
 	Parts int    `json:"parts"`
 	Seed  int64  `json:"seed"`
+	// Objective is the flag name of the objective the run optimized;
+	// empty means "cut" (the default), so every pre-objective baseline
+	// parses — and compares — unchanged.
+	Objective string `json:"objective,omitempty"`
 
-	Cut         float64 `json:"cut"`          // Σ_q C(q)/2: total cut weight
-	MaxPartCut  float64 `json:"max_part_cut"` // max_q C(q): worst-part cost
-	ImbalanceSq float64 `json:"imbalance_sq"` // Σ_q (W(q)−W/n)²
-	Balance     float64 `json:"balance"`      // max part weight / ideal; 1.0 is perfect
+	Cut         float64 `json:"cut"`                   // Σ_q C(q)/2: total cut weight
+	MaxPartCut  float64 `json:"max_part_cut"`          // max_q C(q): worst-part cost
+	CommVolume  float64 `json:"comm_volume,omitempty"` // Σ_q V(q): total communication volume
+	ImbalanceSq float64 `json:"imbalance_sq"`          // Σ_q (W(q)−W/n)²
+	Balance     float64 `json:"balance"`               // max part weight / ideal; 1.0 is perfect
 
 	WallNS  int64  `json:"wall_ns"`   // total wall time of Repeat runs
 	NsPerOp int64  `json:"ns_per_op"` // WallNS / Repeat
 	Repeat  int    `json:"repeat"`
 	Error   string `json:"error,omitempty"` // non-empty if the algorithm rejected the case
+}
+
+// Metric returns the result's value of the objective it optimized — Cut for
+// the default, MaxPartCut for "maxcut", CommVolume for "commvol" — the number
+// regression comparisons hold it to.
+func (r Result) Metric() float64 {
+	switch r.Objective {
+	case "maxcut":
+		return r.MaxPartCut
+	case "commvol":
+		return r.CommVolume
+	default:
+		return r.Cut
+	}
+}
+
+// MetricName names the compared quantity for human-readable messages.
+func (r Result) MetricName() string {
+	switch r.Objective {
+	case "maxcut":
+		return "max_part_cut"
+	case "commvol":
+		return "comm_volume"
+	default:
+		return "cut"
+	}
 }
 
 // Report is the machine-readable artifact a benchmark run emits; CI uploads
@@ -172,6 +204,9 @@ func RunJSON(suiteName string, cases []Case, algos []string, opt algo.Options, r
 				Parts: c.Parts,
 				Seed:  opt.Seed,
 			}
+			if opt.Objective != partition.TotalCut {
+				res.Objective = opt.Objective.FlagName()
+			}
 			o := opt
 			o.Parts = c.Parts
 			start := time.Now()
@@ -187,6 +222,7 @@ func RunJSON(suiteName string, cases []Case, algos []string, opt algo.Options, r
 			} else {
 				res.Cut = p.CutSize(c.Graph)
 				res.MaxPartCut = p.MaxPartCut(c.Graph)
+				res.CommVolume = p.CommVolume(c.Graph)
 				res.ImbalanceSq = p.ImbalanceSq(c.Graph)
 				var maxW float64
 				for _, w := range p.PartWeights(c.Graph) {
@@ -222,103 +258,124 @@ func ReadJSON(rd io.Reader) (*Report, error) {
 	return &r, nil
 }
 
-// Regression is one (case, algo) pair whose cut got worse than the baseline
-// allows, or that stopped producing a result at all.
+// Regression is one (case, algo, objective) triple whose objective metric got
+// worse than the baseline allows, or that stopped producing a result at all.
 type Regression struct {
-	Case, Algo       string
+	Case, Algo string
+	// Objective is the triple's objective flag name; empty means "cut".
+	Objective string
+	// Metric names the compared quantity (cut, max_part_cut, comm_volume).
+	Metric           string
 	BaselineCut, Cut float64
 	RelativeIncrease float64
 	// Failed is set when the pair succeeded in the baseline but errored in
-	// the current run — a total failure, worse than any cut increase.
+	// the current run — a total failure, worse than any metric increase.
 	Failed string
 }
 
-func (r Regression) String() string {
-	if r.Failed != "" {
-		return fmt.Sprintf("%s/%s: cut %.0f -> FAILED (%s)", r.Case, r.Algo, r.BaselineCut, r.Failed)
+func (r Regression) label() string {
+	if r.Objective == "" {
+		return fmt.Sprintf("%s/%s", r.Case, r.Algo)
 	}
-	return fmt.Sprintf("%s/%s: cut %.0f -> %.0f (+%.1f%%)",
-		r.Case, r.Algo, r.BaselineCut, r.Cut, 100*r.RelativeIncrease)
+	return fmt.Sprintf("%s/%s[%s]", r.Case, r.Algo, r.Objective)
 }
 
-// Compare diffs current against baseline and returns every pair whose cut
-// regressed by more than tol (0.10 = 10%), plus per-case best-cut
-// regressions under the synthetic algo name "best", plus hard failures
-// (pairs the baseline measured that now error). Pairs present in only one
-// report are ignored (suites may grow, and runs narrowed with -algos are
-// only held to the baseline cuts of the algorithms they actually ran), as
-// are timing fields (they are machine-dependent). A zero-cut baseline only
-// passes if the current cut is also zero.
+func (r Regression) String() string {
+	metric := r.Metric
+	if metric == "" {
+		metric = "cut"
+	}
+	if r.Failed != "" {
+		return fmt.Sprintf("%s: %s %.0f -> FAILED (%s)", r.label(), metric, r.BaselineCut, r.Failed)
+	}
+	return fmt.Sprintf("%s: %s %.0f -> %.0f (+%.1f%%)",
+		r.label(), metric, r.BaselineCut, r.Cut, 100*r.RelativeIncrease)
+}
+
+// Compare diffs current against baseline and returns every (case, algo,
+// objective) triple whose objective metric — cut for the default objective,
+// max_part_cut for "maxcut", comm_volume for "commvol" — regressed by more
+// than tol (0.10 = 10%), plus per-(case, objective) best-metric regressions
+// under the synthetic algo name "best", plus hard failures (triples the
+// baseline measured that now error). Triples present in only one report are
+// ignored (suites may grow, and runs narrowed with -algos or -objective are
+// only held to the baseline metrics of what they actually ran), as are
+// timing fields (they are machine-dependent). A zero-metric baseline only
+// passes if the current metric is also zero.
 func Compare(baseline, current *Report, tol float64) []Regression {
-	type key struct{ c, a string }
+	type key struct{ c, a, o string }
+	type caseKey struct{ c, o string }
 	ran := map[key]bool{}
 	failed := map[key]string{}
 	for _, r := range current.Results {
 		if r.Error == "" {
-			ran[key{r.Case, r.Algo}] = true
+			ran[key{r.Case, r.Algo, r.Objective}] = true
 		} else {
-			failed[key{r.Case, r.Algo}] = r.Error
+			failed[key{r.Case, r.Algo, r.Objective}] = r.Error
 		}
 	}
 	// Best-of-case baselines consider only algorithms the current run also
-	// measured: a run narrowed with -algos must not be held to the best cut
-	// of an algorithm it never executed.
+	// measured: a run narrowed with -algos must not be held to the best
+	// metric of an algorithm it never executed.
 	base := map[key]float64{}
-	baseBest := map[string]float64{}
+	baseBest := map[caseKey]float64{}
+	metricName := map[caseKey]string{}
 	var out []Regression
 	for _, r := range baseline.Results {
 		if r.Error != "" {
 			continue
 		}
-		// A pair the baseline measured but the current run errored on is a
+		metricName[caseKey{r.Case, r.Objective}] = r.MetricName()
+		// A triple the baseline measured but the current run errored on is a
 		// hard regression: the algorithm stopped working on that case.
-		if msg, nowFails := failed[key{r.Case, r.Algo}]; nowFails {
+		if msg, nowFails := failed[key{r.Case, r.Algo, r.Objective}]; nowFails {
 			out = append(out, Regression{
-				Case: r.Case, Algo: r.Algo,
-				BaselineCut: r.Cut, Failed: msg,
+				Case: r.Case, Algo: r.Algo, Objective: r.Objective,
+				Metric: r.MetricName(), BaselineCut: r.Metric(), Failed: msg,
 			})
 			continue
 		}
-		if !ran[key{r.Case, r.Algo}] {
+		if !ran[key{r.Case, r.Algo, r.Objective}] {
 			continue
 		}
-		base[key{r.Case, r.Algo}] = r.Cut
-		if b, ok := baseBest[r.Case]; !ok || r.Cut < b {
-			baseBest[r.Case] = r.Cut
+		base[key{r.Case, r.Algo, r.Objective}] = r.Metric()
+		if b, ok := baseBest[caseKey{r.Case, r.Objective}]; !ok || r.Metric() < b {
+			baseBest[caseKey{r.Case, r.Objective}] = r.Metric()
 		}
 	}
 	// The current best of a case may come from any algorithm measured now,
 	// including ones the baseline has never seen: a newcomer taking over a
-	// case's best cut is an improvement, not a regression.
-	curBest := map[string]float64{}
+	// case's best metric is an improvement, not a regression.
+	curBest := map[caseKey]float64{}
 	for _, r := range current.Results {
 		if r.Error != "" {
 			continue
 		}
-		if bc, seen := curBest[r.Case]; !seen || r.Cut < bc {
-			curBest[r.Case] = r.Cut
+		ck := caseKey{r.Case, r.Objective}
+		if bc, seen := curBest[ck]; !seen || r.Metric() < bc {
+			curBest[ck] = r.Metric()
 		}
-		b, ok := base[key{r.Case, r.Algo}]
+		b, ok := base[key{r.Case, r.Algo, r.Objective}]
 		if !ok {
 			continue
 		}
-		if exceeds(r.Cut, b, tol) {
+		if exceeds(r.Metric(), b, tol) {
 			out = append(out, Regression{
-				Case: r.Case, Algo: r.Algo,
-				BaselineCut: b, Cut: r.Cut,
-				RelativeIncrease: rel(r.Cut, b),
+				Case: r.Case, Algo: r.Algo, Objective: r.Objective,
+				Metric: r.MetricName(), BaselineCut: b, Cut: r.Metric(),
+				RelativeIncrease: rel(r.Metric(), b),
 			})
 		}
 	}
-	for c, b := range baseBest {
-		cur, ok := curBest[c]
+	for ck, b := range baseBest {
+		cur, ok := curBest[ck]
 		if !ok {
 			continue
 		}
 		if exceeds(cur, b, tol) {
 			out = append(out, Regression{
-				Case: c, Algo: "best",
-				BaselineCut: b, Cut: cur,
+				Case: ck.c, Algo: "best", Objective: ck.o,
+				Metric: metricName[ck], BaselineCut: b, Cut: cur,
 				RelativeIncrease: rel(cur, b),
 			})
 		}
@@ -327,7 +384,10 @@ func Compare(baseline, current *Report, tol float64) []Regression {
 		if out[i].Case != out[j].Case {
 			return out[i].Case < out[j].Case
 		}
-		return out[i].Algo < out[j].Algo
+		if out[i].Algo != out[j].Algo {
+			return out[i].Algo < out[j].Algo
+		}
+		return out[i].Objective < out[j].Objective
 	})
 	return out
 }
@@ -342,26 +402,30 @@ func Compare(baseline, current *Report, tol float64) []Regression {
 // pairs at all, that is reported as a failure — a gate that compared
 // nothing must not pass.
 func CompareExact(baseline, current *Report) []string {
-	type key struct{ c, a string }
+	type key struct{ c, a, o string }
 	cur := map[key]Result{}
 	for _, r := range current.Results {
-		cur[key{r.Case, r.Algo}] = r
+		cur[key{r.Case, r.Algo, r.Objective}] = r
 	}
 	shared := 0
 	var out []string
 	for _, b := range baseline.Results {
-		c, ok := cur[key{b.Case, b.Algo}]
+		c, ok := cur[key{b.Case, b.Algo, b.Objective}]
 		if !ok {
 			continue
 		}
 		shared++
+		label := b.Case + "/" + b.Algo
+		if b.Objective != "" {
+			label += "[" + b.Objective + "]"
+		}
 		switch {
 		case b.Error == "" && c.Error != "":
-			out = append(out, fmt.Sprintf("%s/%s: baseline cut %.0f, current FAILED (%s)", b.Case, b.Algo, b.Cut, c.Error))
+			out = append(out, fmt.Sprintf("%s: baseline %s %.0f, current FAILED (%s)", label, b.MetricName(), b.Metric(), c.Error))
 		case b.Error != "" && c.Error == "":
-			out = append(out, fmt.Sprintf("%s/%s: baseline FAILED (%s), current cut %.0f", b.Case, b.Algo, b.Error, c.Cut))
-		case b.Error == "" && c.Error == "" && b.Cut != c.Cut:
-			out = append(out, fmt.Sprintf("%s/%s: cut %v != baseline %v", b.Case, b.Algo, c.Cut, b.Cut))
+			out = append(out, fmt.Sprintf("%s: baseline FAILED (%s), current %s %.0f", label, b.Error, c.MetricName(), c.Metric()))
+		case b.Error == "" && c.Error == "" && b.Metric() != c.Metric():
+			out = append(out, fmt.Sprintf("%s: %s %v != baseline %v", label, b.MetricName(), c.Metric(), b.Metric()))
 		}
 	}
 	if shared == 0 {

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// loadObjectivesArtifact reads the committed objectives baseline — the diverse
+// suite run under every objective — which doubles as the acceptance artifact
+// for the pluggable-objectives work.
+func loadObjectivesArtifact(t *testing.T) *Report {
+	t.Helper()
+	f, err := os.Open("../../bench/BENCH_objectives.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// The committed artifact must demonstrate that optimizing for maxcut actually
+// lowers max_part_cut relative to cut-optimized runs: on at least 2/3 of the
+// diverse cases some algorithm's maxcut run strictly beats its own cut run's
+// max_part_cut, and at least one algorithm achieves that strict win on 2/3 of
+// the cases by itself. Regenerating the artifact with a refiner change that
+// quietly makes the maxcut objective a no-op fails here, not in review.
+func TestObjectivesArtifactMaxcutWins(t *testing.T) {
+	rep := loadObjectivesArtifact(t)
+
+	type key struct{ c, a, o string }
+	res := map[key]Result{}
+	caseSet := map[string]bool{}
+	algoSet := map[string]bool{}
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			continue
+		}
+		res[key{r.Case, r.Algo, r.Objective}] = r
+		caseSet[r.Case] = true
+		algoSet[r.Algo] = true
+	}
+	if len(caseSet) < 3 {
+		t.Fatalf("artifact covers %d cases, want the 3-case diverse suite", len(caseSet))
+	}
+
+	// need is ceil(2/3 · cases): the acceptance threshold.
+	need := (2*len(caseSet) + 2) / 3
+	casesImproved := 0
+	bestAlgoWins := 0
+	bestAlgo := ""
+	perAlgoWins := map[string]int{}
+	for c := range caseSet {
+		improved := false
+		for a := range algoSet {
+			cutRun, okCut := res[key{c, a, ""}]
+			maxRun, okMax := res[key{c, a, "maxcut"}]
+			if !okCut || !okMax {
+				continue
+			}
+			if maxRun.MaxPartCut < cutRun.MaxPartCut {
+				improved = true
+				perAlgoWins[a]++
+			}
+		}
+		if improved {
+			casesImproved++
+		}
+	}
+	for a, w := range perAlgoWins {
+		if w > bestAlgoWins {
+			bestAlgoWins, bestAlgo = w, a
+		}
+	}
+	if casesImproved < need {
+		t.Errorf("maxcut strictly improves max_part_cut on %d/%d cases, want >= %d",
+			casesImproved, len(caseSet), need)
+	}
+	if bestAlgoWins < need {
+		t.Errorf("best single algorithm (%s) wins on %d/%d cases under maxcut, want >= %d",
+			bestAlgo, bestAlgoWins, len(caseSet), need)
+	}
+}
+
+// The artifact must carry working commvol rows for the algorithms that declare
+// the objective, and honest error rows — not silent cut-optimized results —
+// for those that do not.
+func TestObjectivesArtifactCommvolCoverage(t *testing.T) {
+	rep := loadObjectivesArtifact(t)
+
+	type key struct{ c, a string }
+	commvol := map[key]Result{}
+	for _, r := range rep.Results {
+		if r.Objective != "commvol" {
+			continue
+		}
+		commvol[key{r.Case, r.Algo}] = r
+	}
+	if len(commvol) == 0 {
+		t.Fatal("artifact has no commvol rows")
+	}
+	sawSupported, sawRejected := false, false
+	for k, r := range commvol {
+		switch k.a {
+		case "kl", "multilevel-kl":
+			sawSupported = true
+			if r.Error != "" {
+				t.Errorf("%s/%s[commvol] errored: %s", k.c, k.a, r.Error)
+			} else if r.CommVolume <= 0 {
+				t.Errorf("%s/%s[commvol] comm_volume = %v, want > 0", k.c, k.a, r.CommVolume)
+			}
+		case "fm", "multilevel-fm":
+			sawRejected = true
+			if r.Error == "" || !strings.Contains(r.Error, "does not support objective commvol") {
+				t.Errorf("%s/%s[commvol] must be an unsupported-objective error row, got error=%q comm_volume=%v",
+					k.c, k.a, r.Error, r.CommVolume)
+			}
+		}
+	}
+	if !sawSupported {
+		t.Error("no commvol rows for the kl family")
+	}
+	if !sawRejected {
+		t.Error("no commvol error rows for the fm family; the constraint gate is untested by the artifact")
+	}
+}

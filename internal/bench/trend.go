@@ -52,11 +52,14 @@ func LoadReports(dir, pattern string) ([]NamedReport, error) {
 	return out, nil
 }
 
-// TrendRow is one (case, algorithm) pair's series across the loaded reports.
-// Missing measurements (pair absent, or errored in that run) are NaN for
-// cuts and -1 for timings.
+// TrendRow is one (case, algorithm, objective) triple's series across the
+// loaded reports; Objective "" is the default cut objective, and Cuts holds
+// the triple's own objective metric (cut, max_part_cut, or comm_volume).
+// Missing measurements (triple absent, or errored in that run) are NaN for
+// metrics and -1 for timings.
 type TrendRow struct {
 	Case, Algo string
+	Objective  string
 	Cuts       []float64
 	NsPerOp    []int64
 }
@@ -71,23 +74,24 @@ type Trend struct {
 // NewTrend aggregates the reports in the given order.
 func NewTrend(reports []NamedReport) *Trend {
 	t := &Trend{}
-	type key struct{ c, a string }
+	type key struct{ c, a, o string }
 	index := map[key]int{}
 	for _, nr := range reports {
 		t.Labels = append(t.Labels, nr.Label)
 	}
 	for ri, nr := range reports {
 		for _, r := range nr.Report.Results {
-			k := key{r.Case, r.Algo}
+			k := key{r.Case, r.Algo, r.Objective}
 			i, ok := index[k]
 			if !ok {
 				i = len(t.Rows)
 				index[k] = i
 				row := TrendRow{
-					Case:    r.Case,
-					Algo:    r.Algo,
-					Cuts:    make([]float64, len(reports)),
-					NsPerOp: make([]int64, len(reports)),
+					Case:      r.Case,
+					Algo:      r.Algo,
+					Objective: r.Objective,
+					Cuts:      make([]float64, len(reports)),
+					NsPerOp:   make([]int64, len(reports)),
 				}
 				for j := range row.Cuts {
 					row.Cuts[j] = math.NaN()
@@ -96,7 +100,7 @@ func NewTrend(reports []NamedReport) *Trend {
 				t.Rows = append(t.Rows, row)
 			}
 			if r.Error == "" {
-				t.Rows[i].Cuts[ri] = r.Cut
+				t.Rows[i].Cuts[ri] = r.Metric()
 				t.Rows[i].NsPerOp[ri] = r.NsPerOp
 			}
 		}
@@ -105,20 +109,32 @@ func NewTrend(reports []NamedReport) *Trend {
 		if t.Rows[i].Case != t.Rows[j].Case {
 			return t.Rows[i].Case < t.Rows[j].Case
 		}
-		return t.Rows[i].Algo < t.Rows[j].Algo
+		if t.Rows[i].Algo != t.Rows[j].Algo {
+			return t.Rows[i].Algo < t.Rows[j].Algo
+		}
+		return t.Rows[i].Objective < t.Rows[j].Objective
 	})
 	return t
 }
 
-// WriteMarkdown emits one table per metric (cut, then ns_per_op), rows per
-// (case, algorithm), columns per report label. Missing measurements render
-// as "-".
+// objectiveLabel renders a row's objective for table cells: the flag name, or
+// "cut" for the default.
+func (row TrendRow) objectiveLabel() string {
+	if row.Objective == "" {
+		return "cut"
+	}
+	return row.Objective
+}
+
+// WriteMarkdown emits one table per metric (the objective metric, then
+// ns_per_op), rows per (case, algorithm, objective), columns per report
+// label. Missing measurements render as "-".
 func (t *Trend) WriteMarkdown(w io.Writer) error {
 	write := func(metric string, cell func(row TrendRow, i int) string) error {
 		if _, err := fmt.Fprintf(w, "## %s\n\n", metric); err != nil {
 			return err
 		}
-		header := append([]string{"case", "algo"}, t.Labels...)
+		header := append([]string{"case", "algo", "objective"}, t.Labels...)
 		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | ")); err != nil {
 			return err
 		}
@@ -130,7 +146,7 @@ func (t *Trend) WriteMarkdown(w io.Writer) error {
 			return err
 		}
 		for _, row := range t.Rows {
-			cells := []string{row.Case, row.Algo}
+			cells := []string{row.Case, row.Algo, row.objectiveLabel()}
 			for i := range t.Labels {
 				cells = append(cells, cell(row, i))
 			}
@@ -141,7 +157,7 @@ func (t *Trend) WriteMarkdown(w io.Writer) error {
 		_, err := fmt.Fprintln(w)
 		return err
 	}
-	if err := write("cut", func(row TrendRow, i int) string {
+	if err := write("objective metric", func(row TrendRow, i int) string {
 		if math.IsNaN(row.Cuts[i]) {
 			return "-"
 		}
@@ -161,7 +177,7 @@ func (t *Trend) WriteMarkdown(w io.Writer) error {
 // measurement — which plotting tools ingest directly. Missing measurements
 // are omitted rather than emitted with sentinel values.
 func (t *Trend) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "label,case,algo,cut,ns_per_op"); err != nil {
+	if _, err := fmt.Fprintln(w, "label,case,algo,objective,metric,ns_per_op"); err != nil {
 		return err
 	}
 	for _, row := range t.Rows {
@@ -169,8 +185,8 @@ func (t *Trend) WriteCSV(w io.Writer) error {
 			if math.IsNaN(row.Cuts[i]) {
 				continue
 			}
-			if _, err := fmt.Fprintf(w, "%s,%s,%s,%.0f,%d\n",
-				label, row.Case, row.Algo, row.Cuts[i], row.NsPerOp[i]); err != nil {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%s,%.0f,%d\n",
+				label, row.Case, row.Algo, row.objectiveLabel(), row.Cuts[i], row.NsPerOp[i]); err != nil {
 				return err
 			}
 		}

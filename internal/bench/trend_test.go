@@ -76,7 +76,7 @@ func TestTrendAggregatesAcrossReports(t *testing.T) {
 	if err := tr.WriteMarkdown(&md); err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"## cut", "## ns_per_op", "| mesh | kl | 100 | 95 |", "| mesh | fm | 90 | - |"} {
+	for _, want := range []string{"## objective metric", "## ns_per_op", "| mesh | kl | cut | 100 | 95 |", "| mesh | fm | cut | 90 | - |"} {
 		if !strings.Contains(md.String(), want) {
 			t.Errorf("markdown missing %q:\n%s", want, md.String())
 		}
@@ -91,10 +91,10 @@ func TestTrendAggregatesAcrossReports(t *testing.T) {
 	if len(lines) != 5 {
 		t.Fatalf("CSV has %d lines, want 5:\n%s", len(lines), csv.String())
 	}
-	if lines[0] != "label,case,algo,cut,ns_per_op" {
+	if lines[0] != "label,case,algo,objective,metric,ns_per_op" {
 		t.Errorf("CSV header = %q", lines[0])
 	}
-	if !strings.Contains(csv.String(), "bench-002.json,mesh,kl,95,4000") {
+	if !strings.Contains(csv.String(), "bench-002.json,mesh,kl,cut,95,4000") {
 		t.Errorf("CSV missing expected record:\n%s", csv.String())
 	}
 }

@@ -41,6 +41,18 @@ type Config struct {
 	// the heap, the move sequence, and the result are bit-identical to the
 	// serial pass at every width.
 	Workers int
+	// Objective selects which cost the best-prefix selection minimizes. The
+	// zero value (TotalCut) is the historical FM, byte for byte: moves pop in
+	// cut-gain order and the kept prefix maximizes cumulative cut reduction.
+	// WorstCut keeps the same pop order (the cut gain is a visit-order
+	// heuristic there) but scores each applied move by the max_q C(q) delta
+	// it causes, so the kept prefix is the one that most reduced the worst
+	// part's cut. CommVolume is not supported: FM's lazily-materialized
+	// connectivity rows go stale on locked neighbors, which the cut deltas
+	// tolerate but distinct-part counting does not — the registry's declared
+	// objective constraints route commvol to the KL refiners instead, and
+	// RefineEval panics if handed it anyway.
+	Objective partition.Objective
 }
 
 // Refine improves p in place, minimizing the edge cut subject to the
@@ -68,6 +80,9 @@ func Refine(g *graph.Graph, p *partition.Partition, cfg Config) float64 {
 // because non-boundary nodes never produced heap candidates in the first
 // place.
 func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, cfg Config) float64 {
+	if cfg.Objective == partition.CommVolume {
+		panic("fm: CommVolume objective is not supported (use the kl refiners)")
+	}
 	maxPasses := cfg.MaxPasses
 	if maxPasses <= 0 {
 		maxPasses = 16
@@ -93,7 +108,7 @@ func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, cfg 
 	s := newScratch(n, p.Parts)
 	var total float64
 	for pass := 0; pass < maxPasses; pass++ {
-		gain := onePass(g, p, ev, minSize, maxSize, s, cfg.Workers)
+		gain := onePass(g, p, ev, minSize, maxSize, s, cfg.Workers, cfg.Objective)
 		total += gain
 		if gain <= 0 {
 			break
@@ -120,6 +135,7 @@ type scratch struct {
 	log       []move
 	seedTo    []int32   // parallel seeding: best destination per seed node
 	seedGain  []float64 // ... and its gain (-1 destination = no candidate)
+	cuts      []float64 // WorstCut: tentative per-part cuts along the pass's move sequence
 }
 
 func newScratch(n, parts int) *scratch {
@@ -216,7 +232,7 @@ func (h *candHeap) pop() cand {
 // pop/commit loop that follows stays serial (each move reorders the heap
 // the next pop reads), which is why the multilevel pipeline pairs FM with
 // the colored KL climb rather than relying on FM alone for parallel work.
-func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize, maxSize int, s *scratch, workers int) float64 {
+func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize, maxSize int, s *scratch, workers int, o partition.Objective) float64 {
 	n := g.NumNodes()
 	parts := p.Parts
 
@@ -316,6 +332,15 @@ func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize
 	log := s.log[:0]
 	var cum, bestCum float64
 	bestK := 0
+	// WorstCut: the applied prefix's per-part cuts, evolved move by move so
+	// each move's max_q C(q) delta is exact against the moves before it. Only
+	// C(from) and C(to) change on a move — v's cut edges into any third part
+	// stay cut on both sides.
+	var cuts []float64
+	if o == partition.WorstCut {
+		cuts = append(s.cuts[:0], ev.Cuts...)
+		s.cuts = cuts
+	}
 	for len(*h) > 0 {
 		c := h.pop()
 		v := c.v
@@ -343,7 +368,41 @@ func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize
 		work.Assign[v] = uint16(c.to)
 		sizes[from]--
 		sizes[c.to]++
-		cum += c.gain
+		if o == partition.WorstCut {
+			// Score by the worst-part delta, computed from v's (current)
+			// connectivity row. The heap ordered by cut gain is a visit-order
+			// heuristic here; the best-prefix selection below is what the
+			// objective actually steers.
+			row := s.conn[v*parts : (v+1)*parts]
+			var rowSum float64
+			for _, w := range row {
+				rowSum += w
+			}
+			// The row already reflects the move (work.Assign[v] changed after
+			// the neighbors' rows were updated, but v's own row keys on its
+			// neighbors' parts, which the move does not touch).
+			wFrom, wTo := row[from], row[c.to]
+			wOther := rowSum - wFrom - wTo
+			dFrom := wFrom - wTo - wOther
+			dTo := wFrom - wTo + wOther
+			curMax := 0.0
+			for _, cut := range cuts {
+				if cut > curMax {
+					curMax = cut
+				}
+			}
+			cuts[from] += dFrom
+			cuts[c.to] += dTo
+			newMax := 0.0
+			for _, cut := range cuts {
+				if cut > newMax {
+					newMax = cut
+				}
+			}
+			cum += curMax - newMax
+		} else {
+			cum += c.gain
+		}
 		log = append(log, move{v: v, from: from, to: c.to, gain: c.gain})
 		if cum > bestCum {
 			bestCum, bestK = cum, len(log)

@@ -19,70 +19,106 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/algo"
 	"repro/internal/dpga"
 	"repro/internal/ga"
 	"repro/internal/graph"
 	"repro/internal/partition"
-	"repro/internal/spectral"
 )
 
 // Config parameterizes an incremental GA repartitioning.
+//
+// Options is the single source of truth for the knobs the unified registry
+// also understands (parts, objective, generations, population, islands,
+// eval workers, seed) — set it and leave the deprecated flat fields zero.
+// Before Options existed this package duplicated those fields and they
+// silently drifted from algo.Options (the stale-config bug); they are kept
+// only so existing callers keep compiling, and any non-zero flat field fills
+// in the corresponding unset Options field.
 type Config struct {
-	Parts     int
+	// Options carries the registry-style configuration. Options.PopSize is
+	// the TOTAL population across islands (dpga divides it).
+	Options algo.Options
+
+	// Deprecated: set Options.Parts.
+	Parts int
+	// Deprecated: set Options.Objective.
 	Objective partition.Objective
-
-	Generations int // GA budget; default 80
-
-	// DPGA configuration (the paper runs all experiments under DPGA).
-	TotalPop int // default 320
-	Islands  int // default 16 (4-d hypercube); 1 selects a single population
+	// Deprecated: set Options.Generations.
+	Generations int
+	// Deprecated: set Options.PopSize.
+	TotalPop int
+	// Deprecated: set Options.Islands.
+	Islands int
+	// Deprecated: set Options.EvalWorkers.
+	EvalWorkers int
+	// Deprecated: set Options.Seed.
+	Seed int64
 
 	// SeedCopies is how many distinct balance-repaired extensions of the old
 	// partition seed the population; default 8.
 	SeedCopies int
 
 	HillClimb bool // apply boundary hill climbing to offspring
-
-	// EvalWorkers is the per-engine parallel fitness-evaluation width
-	// (see ga.Config.EvalWorkers); 0 lets the engine / island model choose.
-	EvalWorkers int
-
-	Seed int64 // RNG seed
 }
 
-func (c *Config) withDefaults() Config {
-	out := *c
-	if out.Generations == 0 {
-		out.Generations = 80
+// effective merges the deprecated flat fields into Options (an unset Options
+// field inherits a non-zero flat one) and applies the paper defaults.
+func (c *Config) effective() (algo.Options, int) {
+	o := c.Options
+	if o.Parts == 0 {
+		o.Parts = c.Parts
 	}
-	if out.TotalPop == 0 {
-		out.TotalPop = 320
+	if o.Objective == partition.TotalCut {
+		o.Objective = c.Objective
 	}
-	if out.Islands == 0 {
-		out.Islands = 16
+	if o.Generations == 0 {
+		o.Generations = c.Generations
 	}
-	if out.SeedCopies == 0 {
-		out.SeedCopies = 8
+	if o.PopSize == 0 {
+		o.PopSize = c.TotalPop
 	}
-	return out
+	if o.Islands == 0 {
+		o.Islands = c.Islands
+	}
+	if o.EvalWorkers == 0 {
+		o.EvalWorkers = c.EvalWorkers
+	}
+	if o.Seed == 0 {
+		o.Seed = c.Seed
+	}
+	if o.Generations == 0 {
+		o.Generations = 80
+	}
+	if o.PopSize == 0 {
+		o.PopSize = 320
+	}
+	if o.Islands == 0 {
+		o.Islands = 16 // 4-d hypercube; 1 selects a single population
+	}
+	copies := c.SeedCopies
+	if copies == 0 {
+		copies = 8
+	}
+	return o, copies
 }
 
 // Repartition repairs oldPart (a partition of the original graph) for the
 // grown graph using the DKNUX GA. The grown graph must contain the original
 // nodes with unchanged indices (as gen.Refine guarantees).
 func Repartition(grown *graph.Graph, oldPart *partition.Partition, cfg Config) (*partition.Partition, error) {
-	c := cfg.withDefaults()
-	if c.Parts == 0 {
-		c.Parts = oldPart.Parts
+	o, seedCopies := cfg.effective()
+	if o.Parts == 0 {
+		o.Parts = oldPart.Parts
 	}
-	if c.Parts != oldPart.Parts {
-		return nil, fmt.Errorf("incremental: config wants %d parts, old partition has %d", c.Parts, oldPart.Parts)
+	if o.Parts != oldPart.Parts {
+		return nil, fmt.Errorf("incremental: config wants %d parts, old partition has %d", o.Parts, oldPart.Parts)
 	}
 	if len(oldPart.Assign) > grown.NumNodes() {
 		return nil, fmt.Errorf("incremental: old partition covers %d nodes, grown graph has %d",
 			len(oldPart.Assign), grown.NumNodes())
 	}
-	rng := rand.New(rand.NewSource(c.Seed))
+	rng := rand.New(rand.NewSource(o.Seed))
 
 	// Seed population: several independent balance-repaired extensions of
 	// the old partition (§3.5: "the previous partitioning can itself be used
@@ -91,33 +127,33 @@ func Repartition(grown *graph.Graph, oldPart *partition.Partition, cfg Config) (
 	// The deterministic extension seeds the pool first, so it enters the
 	// population even under tiny island sizes: the GA can then never be
 	// worse than the baseline it is compared against.
-	seeds := make([]*partition.Partition, 0, c.SeedCopies+1)
+	seeds := make([]*partition.Partition, 0, seedCopies+1)
 	seeds = append(seeds, partition.ExtendMajorityNeighbor(oldPart, grown))
-	for i := 0; i < c.SeedCopies; i++ {
+	for i := 0; i < seedCopies; i++ {
 		seeds = append(seeds, partition.ExtendRandomBalanced(oldPart, grown, rng))
 	}
 
 	base := ga.Config{
-		Parts:       c.Parts,
-		Objective:   c.Objective,
-		PopSize:     c.TotalPop,
+		Parts:       o.Parts,
+		Objective:   o.Objective,
+		PopSize:     o.PopSize,
 		Seeds:       seeds,
-		HillClimb:   c.HillClimb,
-		EvalWorkers: c.EvalWorkers,
-		Seed:        c.Seed,
+		HillClimb:   cfg.HillClimb,
+		EvalWorkers: o.EvalWorkers,
+		Seed:        o.Seed,
 	}
-	if c.Islands <= 1 {
+	if o.Islands <= 1 {
 		est := seeds[0]
 		base.Crossover = ga.NewDKNUX(est)
 		e, err := ga.New(grown, base)
 		if err != nil {
 			return nil, err
 		}
-		return e.Run(c.Generations).Part, nil
+		return e.Run(o.Generations).Part, nil
 	}
 	m, err := dpga.New(grown, dpga.Config{
 		Base:    base,
-		Islands: c.Islands,
+		Islands: o.Islands,
 		CrossoverFactory: func(island int) ga.Crossover {
 			return ga.NewDKNUX(seeds[island%len(seeds)])
 		},
@@ -125,13 +161,22 @@ func Repartition(grown *graph.Graph, oldPart *partition.Partition, cfg Config) (
 	if err != nil {
 		return nil, err
 	}
-	return m.Run(c.Generations).Part, nil
+	return m.Run(o.Generations).Part, nil
+}
+
+// FromScratch partitions the grown graph with any registry algorithm,
+// ignoring the old partition — the from-scratch comparison column, run
+// through the same registry path (and therefore the same objective and
+// constraint validation) as every other consumer.
+func FromScratch(grown *graph.Graph, algoName string, opts algo.Options) (*partition.Partition, error) {
+	return algo.Run(grown, algoName, opts)
 }
 
 // RSBFromScratch partitions the grown graph with recursive spectral
 // bisection, ignoring the old partition — the paper's comparison column.
+// It is FromScratch("rsb", ...) with the historical signature.
 func RSBFromScratch(grown *graph.Graph, parts int, seed int64) (*partition.Partition, error) {
-	return spectral.Partition(grown, parts, rand.New(rand.NewSource(seed)))
+	return FromScratch(grown, "rsb", algo.Options{Parts: parts, Seed: seed})
 }
 
 // MajorityNeighbor extends oldPart with the deterministic rule only

@@ -2,8 +2,10 @@ package incremental
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
+	"repro/internal/algo"
 	"repro/internal/gen"
 	"repro/internal/partition"
 	"repro/internal/spectral"
@@ -108,6 +110,78 @@ func TestRSBFromScratch(t *testing.T) {
 	}
 	if err := p.Validate(grown); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The from-scratch baseline goes through the unified registry, so it inherits
+// the registry's option handling — one config struct, no drifting duplicate
+// fields — including objective support and constraint validation.
+func TestFromScratchRegistryPath(t *testing.T) {
+	base := gen.Mesh(60, 3)
+	rng := rand.New(rand.NewSource(3))
+	grown := gen.Refine(base, 8, rng)
+
+	p, err := FromScratch(grown, "multilevel-kl", algo.Options{Parts: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(grown); err != nil {
+		t.Fatal(err)
+	}
+	// Registry validation applies: unknown names and unsupported objectives
+	// fail loudly instead of silently optimizing something else.
+	if _, err := FromScratch(grown, "no-such-algo", algo.Options{Parts: 4}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := FromScratch(grown, "grow", algo.Options{Parts: 4, Objective: partition.CommVolume}); err == nil ||
+		!strings.Contains(err.Error(), "does not support objective") {
+		t.Errorf("grow+commvol: got %v, want unsupported-objective error", err)
+	}
+	// RSBFromScratch is the same path with the historical signature.
+	a, err := RSBFromScratch(grown, 4, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromScratch(grown, "rsb", algo.Options{Parts: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.Assign {
+		if a.Assign[v] != b.Assign[v] {
+			t.Fatal("RSBFromScratch diverged from the registry rsb path")
+		}
+	}
+}
+
+// Options supersedes the deprecated flat fields: the same run configured
+// either way must produce the identical partition, and an explicit Options
+// field wins over a conflicting deprecated one.
+func TestConfigOptionsSupersedeDeprecatedFields(t *testing.T) {
+	base := gen.Mesh(78, 11)
+	rng := rand.New(rand.NewSource(17))
+	grown := gen.Refine(base, 10, rng)
+	old, err := spectral.Partition(base, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Repartition(grown, old, Config{
+		Parts: 4, Generations: 10, TotalPop: 32, Islands: 4, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOptions, err := Repartition(grown, old, Config{
+		Options: algo.Options{Parts: 4, Generations: 10, PopSize: 32, Islands: 4, Seed: 23},
+		// Conflicting deprecated fields must lose to the Options above.
+		Generations: 99, TotalPop: 8, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range flat.Assign {
+		if flat.Assign[v] != viaOptions.Assign[v] {
+			t.Fatal("Options-configured run diverged from deprecated-field run")
+		}
 	}
 }
 

@@ -57,6 +57,9 @@ func HillClimbColored(g *graph.Graph, p *partition.Partition, o partition.Object
 	} else if !ev.TracksBoundary() {
 		ev.ResetBoundaryPar(g, p, workers)
 	}
+	if o == partition.CommVolume && !ev.TracksCommVol() {
+		ev.ResetCommVolPar(g, p, workers)
+	}
 	c := &colorClimber{
 		g:       g,
 		p:       p,
@@ -281,53 +284,28 @@ func (c *colorClimber) sweepClass(members []int32) int {
 	return moves
 }
 
-// commitBest folds class member j's precomputed cut deltas with the current
-// part weights (and, for WorstCut, the current part cuts), picks the best
-// strictly-improving destination with the serial climb's exact tie rules
-// (candidates in first-seen neighbor order, strict improvement only), and
-// applies it through ev so the aggregates and boundary stay exact.
+// commitBest folds class member j's precomputed edge-weight triples with the
+// current aggregates through the shared gain definition
+// (partition.Eval.MoveGainFromWeights), picks the best strictly-improving
+// destination with the serial climb's exact tie rules (candidates in
+// first-seen neighbor order, strict improvement only), and applies it through
+// ev so the aggregates and boundary stay exact.
 //
-// The precomputed deltas are still valid here even though earlier members of
-// the class may have moved: class members share no edge, so a member's
-// neighborhood is untouched until its own commit slot.
+// The precomputed weight triples are still valid here even though earlier
+// members of the class may have moved: class members share no edge, so a
+// member's neighborhood is untouched until its own commit slot. The
+// CommVolume gain ignores the triples and rescans v's neighbor counts inside
+// MoveGainFromWeights — against the Eval's current state, which is exactly
+// the serial semantics (and still sound under the no-shared-edge guarantee).
 func (c *colorClimber) commitBest(j, v int) bool {
-	from := int(c.p.Assign[v])
 	wf, wt := c.wFrom[j], c.wTot[j]
-	wv := c.g.NodeWeight(v)
 	bestTo := -1
 	var bestFit float64
 	for k := 0; k < int(c.cnt[j]); k++ {
 		cd := c.cands[int(c.off[j])+k]
 		to := int(cd.to)
 		wOther := wt - wf - cd.wTo
-		dFrom := wf - cd.wTo - wOther
-		dTo := wf - cd.wTo + wOther
-		before := sq(c.ev.Weights[from]-c.avg) + sq(c.ev.Weights[to]-c.avg)
-		after := sq(c.ev.Weights[from]-wv-c.avg) + sq(c.ev.Weights[to]+wv-c.avg)
-		imbDelta := after - before
-		var fit float64
-		switch c.o {
-		case partition.TotalCut:
-			fit = -(imbDelta + dFrom + dTo)
-		case partition.WorstCut:
-			curMax, newMax := 0.0, 0.0
-			for q, cut := range c.ev.Cuts {
-				if cut > curMax {
-					curMax = cut
-				}
-				eff := cut
-				switch q {
-				case from:
-					eff += dFrom
-				case to:
-					eff += dTo
-				}
-				if eff > newMax {
-					newMax = eff
-				}
-			}
-			fit = -(imbDelta + newMax - curMax)
-		}
+		fit := c.ev.MoveGainFromWeights(c.g, c.p, c.o, c.avg, v, to, wf, cd.wTo, wOther)
 		if fit > 1e-12 && (bestTo < 0 || fit > bestFit) {
 			bestTo, bestFit = to, fit
 		}

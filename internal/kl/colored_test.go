@@ -119,12 +119,12 @@ func TestColoredRefinersWidthBitIdentical(t *testing.T) {
 			refEv = nil
 			{
 				refEv = partition.NewEvalBoundary(g, refP)
-				RefineEvalPar(g, refP, refEv, 0, 1)
+				RefineEvalPar(g, refP, refEv, partition.TotalCut, 0, 1)
 			}
 			for _, w := range widths[1:] {
 				p := start.Clone()
 				ev := partition.NewEvalBoundaryPar(g, p, w)
-				RefineEvalPar(g, p, ev, 0, w)
+				RefineEvalPar(g, p, ev, partition.TotalCut, 0, w)
 				requireSameResult(t, name+"/refine", g, refP, p, refEv, ev)
 			}
 		}
@@ -141,11 +141,11 @@ func TestRebalanceParMatchesSerial(t *testing.T) {
 	}
 	refP := p.Clone()
 	refEv := partition.NewEvalBoundary(g, refP)
-	Rebalance(g, refP, refEv)
+	Rebalance(g, refP, refEv, partition.TotalCut)
 	for _, w := range widths[1:] {
 		q := p.Clone()
 		ev := partition.NewEvalBoundary(g, q)
-		RebalancePar(g, q, ev, w)
+		RebalancePar(g, q, ev, partition.TotalCut, w)
 		requireSameResult(t, "rebalance", g, refP, q, refEv, ev)
 	}
 }

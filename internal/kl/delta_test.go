@@ -31,7 +31,7 @@ func TestMoveDeltaMatchesFullEvaluation(t *testing.T) {
 			after := p.Fitness(g, o)
 			p.Assign[v] = uint16(from)
 			want := after - before
-			got, _, _ := c.moveDelta(v, to)
+			got := c.moveDelta(v, to)
 			if math.Abs(got-want) > 1e-9 {
 				t.Fatalf("%v trial %d: delta = %v, full eval = %v", o, trial, got, want)
 			}

@@ -35,6 +35,9 @@ func HillClimbEval(g *graph.Graph, p *partition.Partition, o partition.Objective
 	if ev == nil {
 		ev = partition.NewEval(g, p)
 	}
+	if o == partition.CommVolume && !ev.TracksCommVol() {
+		ev.EnableCommVol(g, p)
+	}
 	c := &climber{
 		g:   g,
 		p:   p,
@@ -93,59 +96,11 @@ type climber struct {
 	avg float64
 }
 
-// moveDelta returns (fitness delta, C(from) delta, C(to) delta) for moving v
-// to part `to`. Only C(from) and C(to) change: an edge (v,u) with u in a
-// third part c contributes to C(c) both before and after the move.
-func (c *climber) moveDelta(v, to int) (fit, dFrom, dTo float64) {
-	from := int(c.p.Assign[v])
-	var wFrom, wTo, wOther float64
-	ws := c.g.EdgeWeights(v)
-	for i, u := range c.g.Neighbors(v) {
-		switch int(c.p.Assign[u]) {
-		case from:
-			wFrom += ws[i]
-		case to:
-			wTo += ws[i]
-		default:
-			wOther += ws[i]
-		}
-	}
-	// Cut deltas: edges to `from` become cut, edges to `to` become internal,
-	// edges to other parts transfer between C(from) and C(to).
-	dFrom = wFrom - wTo - wOther
-	dTo = wFrom - wTo + wOther
-
-	// Imbalance delta.
-	wv := c.g.NodeWeight(v)
-	before := sq(c.ev.Weights[from]-c.avg) + sq(c.ev.Weights[to]-c.avg)
-	after := sq(c.ev.Weights[from]-wv-c.avg) + sq(c.ev.Weights[to]+wv-c.avg)
-	imbDelta := after - before
-
-	switch c.o {
-	case partition.TotalCut:
-		// Fitness 1 counts every cut edge twice: Σ_q C(q) changes by
-		// dFrom + dTo.
-		fit = -(imbDelta + dFrom + dTo)
-	case partition.WorstCut:
-		curMax, newMax := 0.0, 0.0
-		for q, cut := range c.ev.Cuts {
-			if cut > curMax {
-				curMax = cut
-			}
-			eff := cut
-			switch q {
-			case from:
-				eff += dFrom
-			case to:
-				eff += dTo
-			}
-			if eff > newMax {
-				newMax = eff
-			}
-		}
-		fit = -(imbDelta + newMax - curMax)
-	}
-	return fit, dFrom, dTo
+// moveDelta returns the fitness improvement of moving v to part `to`,
+// computed through the objective-parameterized gain definition shared by
+// every refiner (partition.Eval.MoveGain).
+func (c *climber) moveDelta(v, to int) float64 {
+	return c.ev.MoveGain(c.g, c.p, c.o, c.avg, v, to)
 }
 
 // tryBestMove moves v to the neighboring part that most improves fitness, if
@@ -171,7 +126,7 @@ scan:
 			}
 		}
 		cand = append(cand, to)
-		fit, _, _ := c.moveDelta(v, to)
+		fit := c.moveDelta(v, to)
 		if fit > 1e-12 && (bestTo < 0 || fit > bestFit) {
 			bestTo, bestFit = to, fit
 		}
@@ -182,8 +137,6 @@ scan:
 	c.ev.Move(c.g, c.p, v, bestTo)
 	return true
 }
-
-func sq(x float64) float64 { return x * x }
 
 // Bisect improves a 2-way partition with the classic Kernighan–Lin pass
 // structure: compute gains, greedily swap the best unlocked pair, lock both,
@@ -282,39 +235,41 @@ func Bisect(g *graph.Graph, p *partition.Partition) float64 {
 // heaviest node, its boundary node whose move costs least is shifted to the
 // lightest part.
 func Refine(g *graph.Graph, p *partition.Partition, maxPasses int) {
-	RefineEvalPar(g, p, nil, maxPasses, 1)
+	RefineEvalPar(g, p, nil, partition.TotalCut, maxPasses, 1)
 }
 
 // RefineEval is RefineEvalPar at width 1, kept for callers without a worker
 // knob; the result is identical at every width.
-func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, maxPasses int) {
-	RefineEvalPar(g, p, ev, maxPasses, 1)
+func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, o partition.Objective, maxPasses int) {
+	RefineEvalPar(g, p, ev, o, maxPasses, 1)
 }
 
 // RefineEvalPar is Refine for callers that already hold the partition's
-// cached aggregates and want the climb's gain evaluation spread over
-// `workers` goroutines (<= 0 selects GOMAXPROCS; results are bit-identical
-// for every width). It skips the O(V+E) Eval setup scan and keeps ev exactly
-// in sync with every move it makes (including rebalancing moves), so a
-// caller can chain refinements — the multilevel pipeline projects one Eval
-// down its whole uncoarsening hierarchy this way, because projection changes
-// neither part weights nor part cuts. A nil ev is rebuilt from p (by the
-// sharded parallel scan) with boundary tracking enabled, so even the flat
-// path pays the full-graph scan once instead of once per pass.
-func RefineEvalPar(g *graph.Graph, p *partition.Partition, ev *partition.Eval, maxPasses, workers int) {
+// cached aggregates, select the objective o the climb's gains target, and
+// want the gain evaluation spread over `workers` goroutines (<= 0 selects
+// GOMAXPROCS; results are bit-identical for every width). It skips the
+// O(V+E) Eval setup scan and keeps ev exactly in sync with every move it
+// makes (including rebalancing moves), so a caller can chain refinements —
+// the multilevel pipeline projects one Eval down its whole uncoarsening
+// hierarchy this way, because projection changes neither part weights nor
+// part cuts. A nil ev is rebuilt from p (by the sharded parallel scan) with
+// boundary tracking enabled, so even the flat path pays the full-graph scan
+// once instead of once per pass.
+func RefineEvalPar(g *graph.Graph, p *partition.Partition, ev *partition.Eval, o partition.Objective, maxPasses, workers int) {
 	if ev == nil {
 		ev = partition.NewEvalBoundaryPar(g, p, workers)
 	}
-	HillClimbColored(g, p, partition.TotalCut, maxPasses, workers, ev)
-	rebalance(g, p, ev, workers)
+	HillClimbColored(g, p, o, maxPasses, workers, ev)
+	rebalance(g, p, ev, o, workers)
 }
 
 // Rebalance enforces the node-weight balance invariant on p without any
 // cut-improving ambition: it exists so refiners that tolerate transient
 // imbalance (FM's slack, projections from weighted coarse graphs) can
-// restore the contract afterwards. ev, when non-nil, is kept in sync.
-func Rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
-	rebalance(g, p, ev, 1)
+// restore the contract afterwards. ev, when non-nil, is kept in sync. The
+// objective selects how the cheapest node to move is scored.
+func Rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval, o partition.Objective) {
+	rebalance(g, p, ev, o, 1)
 }
 
 // RebalancePar is Rebalance with each iteration's cheapest-node argmax
@@ -322,8 +277,8 @@ func Rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval) {
 // descending, node id ascending) makes the winner independent of visit
 // order, so the parallel reduction picks exactly the node the serial scan
 // picks — bit-identical results at every width.
-func RebalancePar(g *graph.Graph, p *partition.Partition, ev *partition.Eval, workers int) {
-	rebalance(g, p, ev, workers)
+func RebalancePar(g *graph.Graph, p *partition.Partition, ev *partition.Eval, o partition.Objective, workers int) {
+	rebalance(g, p, ev, o, workers)
 }
 
 // rebalance enforces near-perfect weight balance by moving cheapest boundary
@@ -337,7 +292,11 @@ func RebalancePar(g *graph.Graph, p *partition.Partition, ev *partition.Eval, wo
 // boundary set additionally replaces the per-move O(V+E) boundary rescans,
 // and its argmax is reduced over `workers` goroutines (par.Reduce's fixed
 // chunk grid plus the scan's total order keep the winner width-independent).
-func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval, workers int) {
+// The objective selects the node-cost model: the cut objectives score a
+// candidate by edge weight (edges gained into the destination minus edges
+// left behind), CommVolume by the negated volume delta of the move when the
+// Eval tracks per-(node, part) counts.
+func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval, o partition.Objective, workers int) {
 	n := g.NumNodes()
 	ideal := g.TotalNodeWeight() / float64(p.Parts)
 	var maxNodeW float64
@@ -373,6 +332,9 @@ func rebalance(g *graph.Graph, p *partition.Partition, ev *partition.Eval, worke
 		score := func(v int) (float64, bool) {
 			if int(p.Assign[v]) != over {
 				return 0, false
+			}
+			if o == partition.CommVolume && ev != nil && ev.TracksCommVol() {
+				return -ev.CommVolDelta(g, p, v, under), true
 			}
 			var s float64
 			ws := g.EdgeWeights(v)

@@ -195,7 +195,15 @@ type Config struct {
 	// rebuilds, colored refinement, and rebalance argmax on the way up;
 	// <= 0 selects GOMAXPROCS. The result is bit-identical for every value.
 	Workers int
-	Seed    int64
+	// Objective selects the cost the uncoarsening refiners drive down. The
+	// zero value (TotalCut) is the historical edge-cut pipeline, bit for bit.
+	// WorstCut steers every refiner by the max_q C(q) delta. CommVolume
+	// routes refinement entirely through the KL climbers (FM does not support
+	// it) and rebuilds the per-(node, part) neighbor counts at every level —
+	// unlike part weights and cuts, the volume state does not survive
+	// projection, because node identities change.
+	Objective partition.Objective
+	Seed      int64
 	// Stats, when non-nil, receives the run's phase timings.
 	Stats *Stats
 }
@@ -289,6 +297,9 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 	var ev *partition.Eval
 	if c.Refiner != RefineNone {
 		ev = partition.NewEvalBoundary(coarsest, p)
+		if c.Objective == partition.CommVolume {
+			ev.ResetCommVolPar(coarsest, p, c.Workers)
+		}
 	}
 
 	for i := len(levels) - 1; i >= 0; i-- {
@@ -304,6 +315,11 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 		})
 		if ev != nil {
 			ev.ResetBoundaryPar(lvl.Graph, fine, c.Workers)
+			if c.Objective == partition.CommVolume {
+				// The volume counters key on node identity, which projection
+				// just changed — rebuild them for this level's graph.
+				ev.ResetCommVolPar(lvl.Graph, fine, c.Workers)
+			}
 		}
 		stats.Project += time.Since(start)
 		start = time.Now()
@@ -312,15 +328,21 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 			// Climb first (each pass is cheap and takes every strictly
 			// improving move), then a single FM pass to slide through the
 			// zero-gain plateaus steepest descent cannot cross, then a final
-			// climb-and-rebalance to harvest what FM exposed.
-			kl.HillClimbColored(lvl.Graph, fine, partition.TotalCut, c.RefinePasses, c.Workers, ev)
-			fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: 1, Workers: c.Workers})
-			kl.RefineEvalPar(lvl.Graph, fine, ev, 1, c.Workers)
+			// climb-and-rebalance to harvest what FM exposed. Under CommVolume
+			// the FM step is skipped (fm does not support that objective), so
+			// the combination degrades to pure colored climbing.
+			kl.HillClimbColored(lvl.Graph, fine, c.Objective, c.RefinePasses, c.Workers, ev)
+			if c.Objective != partition.CommVolume {
+				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: 1, Workers: c.Workers, Objective: c.Objective})
+			}
+			kl.RefineEvalPar(lvl.Graph, fine, ev, c.Objective, 1, c.Workers)
 		case RefineKL:
-			kl.RefineEvalPar(lvl.Graph, fine, ev, c.RefinePasses, c.Workers)
+			kl.RefineEvalPar(lvl.Graph, fine, ev, c.Objective, c.RefinePasses, c.Workers)
 		case RefineFM:
-			fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: c.RefinePasses, Workers: c.Workers})
-			kl.RebalancePar(lvl.Graph, fine, ev, c.Workers)
+			if c.Objective != partition.CommVolume {
+				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: c.RefinePasses, Workers: c.Workers, Objective: c.Objective})
+			}
+			kl.RebalancePar(lvl.Graph, fine, ev, c.Objective, c.Workers)
 		}
 		stats.Refine += time.Since(start)
 		p = fine

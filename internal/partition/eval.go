@@ -34,6 +34,17 @@ type Eval struct {
 	extDeg []int32
 	bnodes []int32
 	bpos   []int32
+
+	// Communication-volume tracking (enabled by EnableCommVol /
+	// ResetCommVolPar), the per-(node, part) aggregates the CommVolume
+	// objective's O(deg) gains need. nbrCnt[v*parts+q] counts v's neighbors
+	// assigned to part q; extParts[v] is the number of distinct foreign parts
+	// v touches (its volume contribution); Vols[q] = Σ_{v∈q} extParts[v].
+	// All counters are integers, so the tracked state — and every gain
+	// derived from it — is exact and worker-count independent.
+	Vols     []float64
+	nbrCnt   []int32
+	extParts []int32
 }
 
 // NewEval scans g once and returns the aggregates of p. The accumulation
@@ -81,6 +92,72 @@ func (ev *Eval) ResetBoundary(g *graph.Graph, p *Partition) {
 
 // TracksBoundary reports whether this Eval maintains the boundary set.
 func (ev *Eval) TracksBoundary() bool { return ev.extDeg != nil }
+
+// TracksCommVol reports whether this Eval maintains the communication-volume
+// aggregates.
+func (ev *Eval) TracksCommVol() bool { return ev.nbrCnt != nil }
+
+// EnableCommVol (re)builds the communication-volume aggregates for the given
+// graph and partition in one O(V+E) scan, enabling tracking if it was off.
+// Like the boundary set — and unlike part weights and cuts — the per-node
+// counts do not survive a multilevel projection (node identities change), so
+// the pipeline rebuilds them per level.
+func (ev *Eval) EnableCommVol(g *graph.Graph, p *Partition) {
+	ev.ResetCommVolPar(g, p, 1)
+}
+
+// CommVol returns the total communication volume Σ_q V(q) from the tracked
+// aggregates. It panics if tracking is not enabled.
+func (ev *Eval) CommVol() float64 {
+	if ev.nbrCnt == nil {
+		panic("partition: CommVol called on Eval without comm-volume tracking")
+	}
+	var s float64
+	for _, v := range ev.Vols {
+		s += v
+	}
+	return s
+}
+
+// CommVolDelta returns the change in total communication volume caused by
+// moving v to part `to`, in O(deg(v)) from the tracked per-(node, part)
+// counts, without applying the move. The delta is integer-valued, so it is
+// exact. It panics if comm-volume tracking is not enabled.
+func (ev *Eval) CommVolDelta(g *graph.Graph, p *Partition, v, to int) float64 {
+	if ev.nbrCnt == nil {
+		panic("partition: CommVolDelta called on Eval without comm-volume tracking")
+	}
+	from := int(p.Assign[v])
+	if from == to {
+		return 0
+	}
+	parts := p.Parts
+	// v's own contribution: its neighbor counts do not change, but the set of
+	// parts that are "foreign" to it does — `from` joins it, `to` leaves it.
+	cntV := ev.nbrCnt[v*parts : (v+1)*parts]
+	var d int32
+	if cntV[from] > 0 {
+		d++
+	}
+	if cntV[to] > 0 {
+		d--
+	}
+	// Each neighbor u loses `from` from its touched set if v was its last
+	// neighbor there, and gains `to` if it had none — counting only parts
+	// foreign to u itself.
+	a := p.Assign
+	for _, u := range g.Neighbors(v) {
+		qu := int(a[u])
+		cu := ev.nbrCnt[int(u)*parts : (int(u)+1)*parts]
+		if qu != from && cu[from] == 1 {
+			d--
+		}
+		if qu != to && cu[to] == 0 {
+			d++
+		}
+	}
+	return float64(d)
+}
 
 // Boundary returns the tracked boundary nodes in increasing order. The cost
 // is O(b log b) in the boundary size b — output-sensitive, never O(n) — so
@@ -132,8 +209,8 @@ func (ev *Eval) boundaryRemove(v int) {
 	ev.bpos[v] = 0
 }
 
-// Clone deep-copies the aggregates (and the boundary structures, when
-// tracking is enabled).
+// Clone deep-copies the aggregates (and the boundary and comm-volume
+// structures, when tracked).
 func (ev *Eval) Clone() *Eval {
 	out := &Eval{
 		Weights: append([]float64(nil), ev.Weights...),
@@ -143,6 +220,11 @@ func (ev *Eval) Clone() *Eval {
 		out.extDeg = append([]int32(nil), ev.extDeg...)
 		out.bnodes = append([]int32(nil), ev.bnodes...)
 		out.bpos = append([]int32(nil), ev.bpos...)
+	}
+	if ev.nbrCnt != nil {
+		out.Vols = append([]float64(nil), ev.Vols...)
+		out.nbrCnt = append([]int32(nil), ev.nbrCnt...)
+		out.extParts = append([]int32(nil), ev.extParts...)
 	}
 	return out
 }
@@ -200,7 +282,46 @@ func (ev *Eval) Move(g *graph.Graph, p *Partition, v, to int) {
 			ev.boundaryRemove(v)
 		}
 	}
+	if ev.nbrCnt != nil {
+		ev.moveCommVol(g, p, v, from, to)
+	}
 	p.Assign[v] = uint16(to)
+}
+
+// moveCommVol updates the tracked comm-volume aggregates for v moving from
+// `from` to `to`, in O(deg(v)) — one O(1) update per neighbor. Called before
+// p.Assign[v] changes.
+func (ev *Eval) moveCommVol(g *graph.Graph, p *Partition, v, from, to int) {
+	parts := p.Parts
+	// v's own volume: its neighbor counts are unchanged, but `from` becomes
+	// foreign to it and `to` stops being foreign.
+	cntV := ev.nbrCnt[v*parts : (v+1)*parts]
+	oldExt := ev.extParts[v]
+	newExt := oldExt
+	if cntV[from] > 0 {
+		newExt++
+	}
+	if cntV[to] > 0 {
+		newExt--
+	}
+	ev.extParts[v] = newExt
+	ev.Vols[from] -= float64(oldExt)
+	ev.Vols[to] += float64(newExt)
+	// Each neighbor sees one member of `from` leave and one member of `to`
+	// arrive; its touched-foreign-part set shrinks or grows at the edges.
+	a := p.Assign
+	for _, u := range g.Neighbors(v) {
+		qu := int(a[u])
+		cu := ev.nbrCnt[int(u)*parts : (int(u)+1)*parts]
+		if cu[from]--; cu[from] == 0 && qu != from {
+			ev.extParts[u]--
+			ev.Vols[qu]--
+		}
+		if cu[to]++; cu[to] == 1 && qu != to {
+			ev.extParts[u]++
+			ev.Vols[qu]++
+		}
+	}
 }
 
 // ImbalanceSq returns Σ_q (W(q) − W/n)² from the cached weights.
@@ -245,6 +366,8 @@ func (ev *Eval) Fitness(g *graph.Graph, o Objective) float64 {
 		return -(ev.ImbalanceSq(g) + ev.TotalCutWeight())
 	case WorstCut:
 		return -(ev.ImbalanceSq(g) + ev.MaxCut())
+	case CommVolume:
+		return -(ev.ImbalanceSq(g) + ev.CommVol())
 	default:
 		panic("partition: unknown objective")
 	}

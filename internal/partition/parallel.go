@@ -151,6 +151,71 @@ func (ev *Eval) ResetBoundaryPar(g *graph.Graph, p *Partition, workers int) {
 	})
 }
 
+// ResetCommVolPar is EnableCommVol with the O(V+E) scan sharded over
+// `workers` goroutines: every node's neighbor-count row and foreign-part
+// count is owned by exactly one fixed-width chunk, and the per-chunk partial
+// volume vectors merge in ascending chunk order — the same grid discipline
+// as NewEvalPar, so the rebuilt state is bit-identical at every worker count
+// (and, the counters being integers, exact).
+func (ev *Eval) ResetCommVolPar(g *graph.Graph, p *Partition, workers int) {
+	n := g.NumNodes()
+	parts := p.Parts
+	if cap(ev.nbrCnt) >= n*parts {
+		ev.nbrCnt = ev.nbrCnt[:n*parts]
+	} else {
+		ev.nbrCnt = make([]int32, n*parts)
+	}
+	if cap(ev.extParts) >= n {
+		ev.extParts = ev.extParts[:n]
+	} else {
+		ev.extParts = make([]int32, n)
+	}
+	if len(ev.Vols) != parts {
+		ev.Vols = make([]float64, parts)
+	}
+	for q := range ev.Vols {
+		ev.Vols[q] = 0
+	}
+	if n == 0 {
+		return
+	}
+	a := p.Assign
+	nChunks := (n + evalChunk - 1) / evalChunk
+	partV := make([]float64, nChunks*parts)
+	par.For(workers, nChunks, func(_, clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*evalChunk, (c+1)*evalChunk
+			if hi > n {
+				hi = n
+			}
+			pv := partV[c*parts : (c+1)*parts]
+			for v := lo; v < hi; v++ {
+				row := ev.nbrCnt[v*parts : (v+1)*parts]
+				for q := range row {
+					row[q] = 0
+				}
+				for _, u := range g.Neighbors(v) {
+					row[a[u]]++
+				}
+				var ext int32
+				own := int(a[v])
+				for q, cnt := range row {
+					if cnt > 0 && q != own {
+						ext++
+					}
+				}
+				ev.extParts[v] = ext
+				pv[own] += float64(ext)
+			}
+		}
+	})
+	for c := 0; c < nChunks; c++ {
+		for q := 0; q < parts; q++ {
+			ev.Vols[q] += partV[c*parts+q]
+		}
+	}
+}
+
 // BoundaryLen returns the size of the tracked boundary set. It panics if
 // tracking is not enabled.
 func (ev *Eval) BoundaryLen() int {

@@ -130,6 +130,56 @@ func (p *Partition) MaxPartCut(g *graph.Graph) float64 {
 	return max
 }
 
+// PartVols returns V(q) for every part q: the summed communication volume of
+// the nodes assigned to q, where a node's volume is the number of distinct
+// foreign parts its neighborhood touches (the messages it sends in a halo
+// exchange).
+func (p *Partition) PartVols(g *graph.Graph) []float64 {
+	vols := make([]float64, p.Parts)
+	seen := make([]int32, p.Parts)
+	stamp := int32(0)
+	for v := 0; v < g.NumNodes(); v++ {
+		stamp++
+		own := p.Assign[v]
+		var ext float64
+		for _, u := range g.Neighbors(v) {
+			if q := p.Assign[u]; q != own && seen[q] != stamp {
+				seen[q] = stamp
+				ext++
+			}
+		}
+		vols[own] += ext
+	}
+	return vols
+}
+
+// CommVolume returns Σ_q V(q): the total communication volume — each
+// boundary node counted once per foreign part it touches, not once per cut
+// edge. This is the quantity the CommVolume objective minimizes.
+func (p *Partition) CommVolume(g *graph.Graph) float64 {
+	var s float64
+	for _, v := range p.PartVols(g) {
+		s += v
+	}
+	return s
+}
+
+// ObjectiveValue returns the cost term of objective o — CutSize for
+// TotalCut, MaxPartCut for WorstCut, CommVolume for CommVolume — the single
+// definition reporting surfaces (bench records, CLIs, viz legends) share.
+func (p *Partition) ObjectiveValue(g *graph.Graph, o Objective) float64 {
+	switch o {
+	case TotalCut:
+		return p.CutSize(g)
+	case WorstCut:
+		return p.MaxPartCut(g)
+	case CommVolume:
+		return p.CommVolume(g)
+	default:
+		panic(fmt.Sprintf("partition: unknown objective %d", int(o)))
+	}
+}
+
 // Objective selects which fitness function scores a partition.
 type Objective int
 
@@ -138,6 +188,13 @@ const (
 	TotalCut Objective = iota
 	// WorstCut is Fitness 2: −(Σ imbalance² + max_q C(q)).
 	WorstCut
+	// CommVolume scores −(Σ imbalance² + total communication volume), where
+	// the volume counts each boundary node once per foreign part its
+	// neighborhood touches — the message count of a halo exchange, as in
+	// METIS's -objtype=vol mode — instead of once per cut edge. A hub node
+	// with twenty edges into one foreign part costs 20 under the cut
+	// objectives but 1 here.
+	CommVolume
 )
 
 // String returns the paper's name for the objective.
@@ -147,10 +204,48 @@ func (o Objective) String() string {
 		return "Fitness1(total-cut)"
 	case WorstCut:
 		return "Fitness2(worst-cut)"
+	case CommVolume:
+		return "CommVolume(total-volume)"
 	default:
 		return fmt.Sprintf("Objective(%d)", int(o))
 	}
 }
+
+// FlagName returns the stable user-facing name of the objective — the value
+// the -objective flags and the partd "objective" field accept.
+func (o Objective) FlagName() string {
+	switch o {
+	case TotalCut:
+		return "cut"
+	case WorstCut:
+		return "maxcut"
+	case CommVolume:
+		return "commvol"
+	default:
+		return fmt.Sprintf("objective-%d", int(o))
+	}
+}
+
+// ParseObjective maps a user-facing objective name to its Objective. The
+// canonical names are "cut", "maxcut", and "commvol"; the pre-objective-
+// refactor names "total" and "worst" stay accepted so existing invocations
+// and stored requests keep working.
+func ParseObjective(s string) (Objective, error) {
+	switch s {
+	case "", "cut", "total":
+		return TotalCut, nil
+	case "maxcut", "worst":
+		return WorstCut, nil
+	case "commvol":
+		return CommVolume, nil
+	default:
+		return TotalCut, fmt.Errorf("partition: unknown objective %q (want cut, maxcut, or commvol)", s)
+	}
+}
+
+// Objectives lists every objective in declaration order, for callers that
+// enumerate the scenario surface (bench suites, /v1/algos).
+func Objectives() []Objective { return []Objective{TotalCut, WorstCut, CommVolume} }
 
 // Fitness evaluates the selected fitness function; larger is better, and all
 // values are <= 0 with 0 the unattainable ideal (perfect balance, no cut).
@@ -162,6 +257,8 @@ func (p *Partition) Fitness(g *graph.Graph, o Objective) float64 {
 		return -(p.ImbalanceSq(g) + 2*p.CutSize(g))
 	case WorstCut:
 		return -(p.ImbalanceSq(g) + p.MaxPartCut(g))
+	case CommVolume:
+		return -(p.ImbalanceSq(g) + p.CommVolume(g))
 	default:
 		panic(fmt.Sprintf("partition: unknown objective %d", int(o)))
 	}
@@ -179,6 +276,8 @@ func (p *Partition) FitnessWeighted(g *graph.Graph, o Objective, alpha float64) 
 		return -(p.ImbalanceSq(g) + alpha*2*p.CutSize(g))
 	case WorstCut:
 		return -(p.ImbalanceSq(g) + alpha*p.MaxPartCut(g))
+	case CommVolume:
+		return -(p.ImbalanceSq(g) + alpha*p.CommVolume(g))
 	default:
 		panic(fmt.Sprintf("partition: unknown objective %d", int(o)))
 	}

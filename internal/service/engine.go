@@ -82,6 +82,7 @@ type Result struct {
 	Parts       int      `json:"parts"`
 	Cut         float64  `json:"cut"`
 	MaxPartCut  float64  `json:"max_part_cut"`
+	CommVolume  float64  `json:"comm_volume"`
 	ImbalanceSq float64  `json:"imbalance_sq"`
 	Balance     float64  `json:"balance"`
 	// ComputeNS is the wall time of the computation that produced this
@@ -258,6 +259,9 @@ func (e *Engine) submit(g *graph.Graph, algoName string, opts algo.Options) (*jo
 	}
 	if info.PowerOfTwoParts && opts.Parts&(opts.Parts-1) != 0 {
 		return nil, JobInfo{}, reqErr("parts_not_power_of_two", "algorithm %q requires a power-of-two part count, got %d", algoName, opts.Parts)
+	}
+	if !info.SupportsObjective(opts.Objective) {
+		return nil, JobInfo{}, reqErr("unsupported_objective", "algorithm %q does not support objective %q (see /v1/algos)", algoName, opts.Objective.FlagName())
 	}
 
 	opts = normalizeOptions(opts)
@@ -481,6 +485,7 @@ func (e *Engine) compute(ent *entry) (res *Result, err error) {
 		Parts:       p.Parts,
 		Cut:         p.CutSize(g),
 		MaxPartCut:  p.MaxPartCut(g),
+		CommVolume:  p.CommVolume(g),
 		ImbalanceSq: p.ImbalanceSq(g),
 		ComputeNS:   elapsed.Nanoseconds(),
 	}

@@ -40,7 +40,7 @@ type PartitionRequest struct {
 	Seed      int64  `json:"seed"`
 	Format    string `json:"format,omitempty"`
 	Graph     string `json:"graph"`
-	Objective string `json:"objective,omitempty"` // "total" (default) or "worst"
+	Objective string `json:"objective,omitempty"` // "cut" (default), "maxcut", or "commvol"; legacy "total"/"worst" accepted
 
 	Generations  int  `json:"generations,omitempty"`
 	PopSize      int  `json:"pop_size,omitempty"`
@@ -51,13 +51,16 @@ type PartitionRequest struct {
 	Wait         bool `json:"wait,omitempty"`
 }
 
-// AlgoInfo is one registry entry as served by GET /v1/algos.
+// AlgoInfo is one registry entry as served by GET /v1/algos. Objectives
+// lists every objective the algorithm accepts, by flag name ("cut" always
+// included — it is supported universally).
 type AlgoInfo struct {
-	Name            string `json:"name"`
-	Description     string `json:"description"`
-	NeedsCoords     bool   `json:"needs_coords"`
-	PowerOfTwoParts bool   `json:"power_of_two_parts"`
-	Stochastic      bool   `json:"stochastic"`
+	Name            string   `json:"name"`
+	Description     string   `json:"description"`
+	NeedsCoords     bool     `json:"needs_coords"`
+	PowerOfTwoParts bool     `json:"power_of_two_parts"`
+	Stochastic      bool     `json:"stochastic"`
+	Objectives      []string `json:"objectives"`
 }
 
 // NewHandler builds the HTTP API over e.
@@ -206,12 +209,19 @@ func (s *httpServer) handleAlgos(w http.ResponseWriter, _ *http.Request) {
 			continue
 		}
 		info := p.Info()
+		objectives := make([]string, 0, len(partition.Objectives()))
+		for _, o := range partition.Objectives() {
+			if info.SupportsObjective(o) {
+				objectives = append(objectives, o.FlagName())
+			}
+		}
 		out = append(out, AlgoInfo{
 			Name:            info.Name,
 			Description:     info.Description,
 			NeedsCoords:     info.NeedsCoords,
 			PowerOfTwoParts: info.PowerOfTwoParts,
 			Stochastic:      info.Stochastic,
+			Objectives:      objectives,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -233,14 +243,11 @@ func optionsFromRequest(req *PartitionRequest) (algo.Options, *RequestError) {
 		CoarsestSize: req.CoarsestSize,
 		LanczosIter:  req.LanczosIter,
 	}
-	switch req.Objective {
-	case "", "total":
-		opts.Objective = partition.TotalCut
-	case "worst":
-		opts.Objective = partition.WorstCut
-	default:
-		return opts, reqErr("bad_objective", "unknown objective %q (want total or worst)", req.Objective)
+	o, err := partition.ParseObjective(req.Objective)
+	if err != nil {
+		return opts, reqErr("bad_objective", "unknown objective %q (want cut, maxcut, or commvol)", req.Objective)
 	}
+	opts.Objective = o
 	return opts, nil
 }
 

@@ -132,10 +132,14 @@ func WriteSVG(w io.Writer, g *graph.Graph, p *partition.Partition, opts Options)
 		emit(`<circle cx="%.1f" cy="%.1f" r="%.1f" fill="%s" stroke="black" stroke-width="0.4"/>`+"\n",
 			x, y, o.NodeRadius, fill)
 	}
-	// Legend with part sizes and cut.
+	// Legend with part sizes and the objective values, computed through the
+	// same objective evaluation the refiners optimize.
 	if p != nil {
-		emit(`<text x="%d" y="14" font-family="monospace" font-size="12">parts=%d cut=%.0f worst=%.0f</text>`+"\n",
-			8, p.Parts, p.CutSize(g), p.MaxPartCut(g))
+		emit(`<text x="%d" y="14" font-family="monospace" font-size="12">parts=%d cut=%.0f worst=%.0f commvol=%.0f</text>`+"\n",
+			8, p.Parts,
+			p.ObjectiveValue(g, partition.TotalCut),
+			p.ObjectiveValue(g, partition.WorstCut),
+			p.ObjectiveValue(g, partition.CommVolume))
 	}
 	emit("</svg>\n")
 	return err
