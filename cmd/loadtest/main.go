@@ -1,0 +1,331 @@
+// Command loadtest drives a partd daemon with a Zipf-distributed multi-client
+// workload and reports throughput, latency percentiles, and cache behavior.
+//
+// N concurrent clients each issue a deterministic sequence of single-spec
+// batch submissions, sampling which stored graph to partition from a Zipf
+// popularity distribution — the skewed access pattern a shared partitioning
+// service actually sees, and the regime a content-addressed result cache is
+// supposed to win in. Because every client's sequence is derived from -seed,
+// the run is reproducible, and the exact cache-hit floor is computable from
+// the sampled sequence itself: each distinct (graph, spec) key can miss at
+// most once, so hits >= successes - distinct_keys. The -check flag turns that
+// invariant, plus "zero non-429 errors", into an exit code for CI.
+//
+// With -addr the load goes to a running daemon; without it the tool boots an
+// in-process daemon on a loopback port, so the gate needs no orchestration.
+//
+// Usage:
+//
+//	loadtest -clients 4 -requests 50 -graphs 5 -json bench/BENCH_loadtest.json -check
+//	loadtest -addr 127.0.0.1:8080 -clients 16 -requests 200
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/gen"
+	"repro/internal/gio"
+	"repro/internal/service"
+	"repro/pkg/client"
+)
+
+type config struct {
+	addr     string
+	clients  int
+	requests int
+	graphs   int
+	nodes    int
+	parts    int
+	algo     string
+	seeds    int
+	zipfS    float64
+	seed     int64
+	workers  int
+	rate     float64
+	burst    float64
+	jsonPath string
+	check    bool
+}
+
+// report is the JSON the run emits (and bench/BENCH_loadtest.json commits).
+type report struct {
+	Schema    string  `json:"schema"`
+	GoVersion string  `json:"go_version"`
+	Clients   int     `json:"clients"`
+	Requests  int     `json:"requests_per_client"`
+	Graphs    int     `json:"graphs"`
+	Nodes     int     `json:"nodes"`
+	Parts     int     `json:"parts"`
+	Algo      string  `json:"algo"`
+	Seeds     int     `json:"distinct_seeds"`
+	ZipfS     float64 `json:"zipf_s"`
+	Seed      int64   `json:"seed"`
+
+	Total        int   `json:"total_requests"`
+	OK           int   `json:"ok"`
+	Throttled    int   `json:"throttled"` // structured 429s (quota or queue backpressure)
+	Errors       int   `json:"errors"`    // everything else — must be zero
+	ElapsedNS    int64 `json:"elapsed_ns"`
+	ThroughputHz int64 `json:"throughput_milli_rps"` // successful requests per second, x1000
+
+	LatencyP50NS  int64 `json:"latency_p50_ns"`
+	LatencyP90NS  int64 `json:"latency_p90_ns"`
+	LatencyP99NS  int64 `json:"latency_p99_ns"`
+	LatencyMaxNS  int64 `json:"latency_max_ns"`
+	LatencyMeanNS int64 `json:"latency_mean_ns"`
+
+	DistinctKeys   int     `json:"distinct_keys"` // among successful requests
+	CacheHits      uint64  `json:"cache_hits"`    // completed-result hits + coalesced joins
+	CacheMisses    uint64  `json:"cache_misses"`
+	HitRate        float64 `json:"hit_rate"`
+	PredictedFloor float64 `json:"predicted_hit_floor"` // (ok - distinct_keys) / ok
+	StoreParses    uint64  `json:"store_parses"`
+	StoreHashes    uint64  `json:"store_hashes"`
+	StoreDedups    uint64  `json:"store_dedups"`
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", "", "daemon address (empty = boot an in-process daemon)")
+	flag.IntVar(&cfg.clients, "clients", 4, "concurrent clients")
+	flag.IntVar(&cfg.requests, "requests", 50, "requests per client")
+	flag.IntVar(&cfg.graphs, "graphs", 5, "distinct stored graphs")
+	flag.IntVar(&cfg.nodes, "nodes", 1500, "nodes in the smallest graph (each next graph is ~25% larger)")
+	flag.IntVar(&cfg.parts, "parts", 8, "parts per job")
+	flag.StringVar(&cfg.algo, "algo", "multilevel-kl", "algorithm to request")
+	flag.IntVar(&cfg.seeds, "seeds", 3, "distinct job seeds per graph (widens the cache key space)")
+	flag.Float64Var(&cfg.zipfS, "zipf-s", 1.3, "Zipf exponent for graph popularity (> 1)")
+	flag.Int64Var(&cfg.seed, "seed", 1, "workload seed; the whole run is deterministic in it")
+	flag.IntVar(&cfg.workers, "workers", 0, "in-process daemon worker pool (0 = GOMAXPROCS)")
+	flag.Float64Var(&cfg.rate, "rate", 0, "in-process daemon per-client quota rate (0 = off)")
+	flag.Float64Var(&cfg.burst, "burst", 0, "in-process daemon quota burst")
+	flag.StringVar(&cfg.jsonPath, "json", "", "write the JSON report here")
+	flag.BoolVar(&cfg.check, "check", false, "exit nonzero unless errors == 0 and hit_rate >= predicted floor")
+	flag.Parse()
+
+	rep, err := run(cfg)
+	if err != nil {
+		log.Fatalf("loadtest: %v", err)
+	}
+	fmt.Printf("loadtest: %d/%d ok (%d throttled, %d errors) in %v\n",
+		rep.OK, rep.Total, rep.Throttled, rep.Errors, time.Duration(rep.ElapsedNS))
+	fmt.Printf("loadtest: latency p50 %v  p90 %v  p99 %v  max %v\n",
+		time.Duration(rep.LatencyP50NS), time.Duration(rep.LatencyP90NS),
+		time.Duration(rep.LatencyP99NS), time.Duration(rep.LatencyMaxNS))
+	fmt.Printf("loadtest: cache hit rate %.3f (floor %.3f from %d distinct keys)\n",
+		rep.HitRate, rep.PredictedFloor, rep.DistinctKeys)
+	if cfg.jsonPath != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatalf("loadtest: %v", err)
+		}
+		if err := os.WriteFile(cfg.jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatalf("loadtest: %v", err)
+		}
+	}
+	if cfg.check {
+		if rep.Errors > 0 {
+			log.Fatalf("loadtest: CHECK FAILED: %d non-429 errors", rep.Errors)
+		}
+		if rep.OK == 0 {
+			log.Fatal("loadtest: CHECK FAILED: no request succeeded")
+		}
+		if rep.HitRate < rep.PredictedFloor {
+			log.Fatalf("loadtest: CHECK FAILED: hit rate %.3f below predicted floor %.3f",
+				rep.HitRate, rep.PredictedFloor)
+		}
+		fmt.Println("loadtest: CHECK PASSED")
+	}
+}
+
+func run(cfg config) (*report, error) {
+	base := cfg.addr
+	if base == "" {
+		addr, shutdown, err := bootDaemon(cfg)
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+		base = addr
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	// Build and upload the graph corpus. Every graph is uploaded by client 0;
+	// the first request of every other client re-uploads one (exercising the
+	// dedup path a real fleet hits constantly).
+	payloads := make([]string, cfg.graphs)
+	hashes := make([]string, cfg.graphs)
+	for i := range payloads {
+		n := cfg.nodes + i*cfg.nodes/4
+		var sb strings.Builder
+		if err := gio.WriteGraph(gio.FormatMETIS, &sb, gen.Mesh(n, cfg.seed+int64(i))); err != nil {
+			return nil, err
+		}
+		payloads[i] = sb.String()
+	}
+	ctx := context.Background()
+	uploader := client.New(base, client.WithName("load-uploader"))
+	for i, p := range payloads {
+		resp, err := uploader.UploadGraph(ctx, "metis", p)
+		if err != nil {
+			return nil, fmt.Errorf("uploading graph %d: %w", i, err)
+		}
+		hashes[i] = resp.Hash
+	}
+
+	// Precompute every client's deterministic request sequence: Zipf over
+	// graphs (rank 0 most popular), uniform over job seeds.
+	type reqKey struct{ graph, seed int }
+	sequences := make([][]reqKey, cfg.clients)
+	for c := range sequences {
+		rng := rand.New(rand.NewSource(cfg.seed + int64(c)*7919))
+		zipf := rand.NewZipf(rng, cfg.zipfS, 1, uint64(cfg.graphs-1))
+		seq := make([]reqKey, cfg.requests)
+		for r := range seq {
+			seq[r] = reqKey{graph: int(zipf.Uint64()), seed: rng.Intn(cfg.seeds)}
+		}
+		sequences[c] = seq
+	}
+
+	var (
+		mu                    sync.Mutex
+		latencies             []time.Duration
+		okKeys                = map[reqKey]struct{}{}
+		ok, throttled, failed int
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			cl := client.New(base, client.WithName(fmt.Sprintf("load-%d", c)))
+			if c > 0 {
+				// Re-upload this client's first graph: must dedup, not fail.
+				if _, err := cl.UploadGraph(ctx, "metis", payloads[sequences[c][0].graph]); err != nil {
+					var apiErr *client.APIError
+					if !errors.As(err, &apiErr) || apiErr.Status != http.StatusTooManyRequests {
+						mu.Lock()
+						failed++
+						mu.Unlock()
+					}
+				}
+			}
+			for _, k := range sequences[c] {
+				spec := service.JobSpec{Algo: cfg.algo, Parts: cfg.parts, Seed: int64(k.seed)}
+				t0 := time.Now()
+				resp, err := cl.SubmitBatchWait(ctx, hashes[k.graph], []service.JobSpec{spec})
+				lat := time.Since(t0)
+				mu.Lock()
+				switch {
+				case err == nil && len(resp.Jobs) == 1 && resp.Jobs[0].State == service.StateDone:
+					ok++
+					okKeys[k] = struct{}{}
+					latencies = append(latencies, lat)
+				case isThrottle(err):
+					throttled++
+				default:
+					failed++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	stats, err := client.New(base, client.WithName("load-uploader")).Stats(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("reading final stats: %w", err)
+	}
+
+	rep := &report{
+		Schema:    "repro-loadtest/v1",
+		GoVersion: runtime.Version(),
+		Clients:   cfg.clients, Requests: cfg.requests, Graphs: cfg.graphs,
+		Nodes: cfg.nodes, Parts: cfg.parts, Algo: cfg.algo, Seeds: cfg.seeds,
+		ZipfS: cfg.zipfS, Seed: cfg.seed,
+		Total: cfg.clients * cfg.requests, OK: ok, Throttled: throttled, Errors: failed,
+		ElapsedNS:    elapsed.Nanoseconds(),
+		DistinctKeys: len(okKeys),
+		CacheHits:    stats.CacheHits + stats.Coalesced,
+		CacheMisses:  stats.CacheMisses,
+		StoreParses:  stats.Store.Parses,
+		StoreHashes:  stats.Store.Hashes,
+		StoreDedups:  stats.Store.Dedups,
+	}
+	if elapsed > 0 {
+		rep.ThroughputHz = int64(float64(ok) / elapsed.Seconds() * 1000)
+	}
+	if ok > 0 {
+		// The floor holds exactly because each distinct key can miss at most
+		// once (the result cache outlives the run and nothing evicts at these
+		// payload sizes): hits >= ok - distinct.
+		rep.PredictedFloor = float64(ok-len(okKeys)) / float64(ok)
+	}
+	if submitted := stats.CacheHits + stats.Coalesced + stats.CacheMisses; submitted > 0 {
+		rep.HitRate = float64(rep.CacheHits) / float64(submitted)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if len(latencies) > 0 {
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		pct := func(p float64) int64 {
+			i := int(p * float64(len(latencies)-1))
+			return latencies[i].Nanoseconds()
+		}
+		rep.LatencyP50NS = pct(0.50)
+		rep.LatencyP90NS = pct(0.90)
+		rep.LatencyP99NS = pct(0.99)
+		rep.LatencyMaxNS = latencies[len(latencies)-1].Nanoseconds()
+		rep.LatencyMeanNS = (sum / time.Duration(len(latencies))).Nanoseconds()
+	}
+	return rep, nil
+}
+
+// isThrottle reports whether err is a structured 429 — quota or queue
+// backpressure, the one refusal the gate tolerates.
+func isThrottle(err error) bool {
+	var apiErr *client.APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests
+}
+
+// bootDaemon starts an in-process daemon on a loopback port and returns its
+// address and a shutdown func.
+func bootDaemon(cfg config) (string, func(), error) {
+	engine := service.New(service.Config{Workers: cfg.workers})
+	store := service.NewGraphStore(0)
+	var quota *service.Quota
+	if cfg.rate > 0 {
+		quota = service.NewQuota(cfg.rate, cfg.burst)
+	}
+	srv := &http.Server{Handler: service.NewHandler(engine, service.WithStore(store), service.WithQuota(quota))}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go srv.Serve(ln)
+	shutdown := func() {
+		srv.Close()
+		engine.Close()
+	}
+	return ln.Addr().String(), shutdown, nil
+}

@@ -1,21 +1,30 @@
-// Command partd is the partition-as-a-service daemon: an HTTP JSON API over
-// the unified algorithm registry, with a bounded worker pool and a
-// content-addressed result cache (see internal/service).
+// Command partd is the partition-as-a-service daemon: a multi-tenant HTTP
+// JSON API over the unified algorithm registry, with a content-addressed
+// graph store, batch job submission, cancellation, per-client quotas, a
+// bounded worker pool, and a content-addressed result cache (see
+// internal/service).
 //
 // Usage:
 //
-//	partd -addr :8080 -workers 4 -cache-mb 128
+//	partd -addr :8080 -workers 4 -cache-mb 128 -store-mb 256 \
+//	      -job-log partd-jobs.jsonl -rate 50 -burst 100
 //
-// Endpoints:
+// Endpoints (API v2):
 //
-//	POST /v1/partition      submit a METIS/edge-list/text graph for partitioning
-//	GET  /v1/jobs/{id}      poll a job (?wait=1 blocks until it completes)
-//	GET  /v1/algos          the algorithm registry with declared constraints
-//	GET  /v1/stats          worker, job, and cache counters
+//	PUT    /v1/graphs         upload a graph once; returns its content address
+//	GET    /v1/graphs/{hash}  stored-graph metadata
+//	POST   /v1/jobs           batch-submit specs against a stored graph
+//	GET    /v1/jobs/{id}      poll a job (?wait=1 blocks until it completes)
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	POST   /v1/partition      legacy inline submit (store+submit shim)
+//	GET    /v1/algos          the algorithm registry with declared constraints
+//	GET    /v1/stats          worker, job, cache, store, and quota counters
 //
-// See README.md for the request schema and an example curl session. The
+// See README.md for the request schemas and an example curl session. The
 // daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests and
-// running jobs finish, queued jobs fail with a shutdown error.
+// running jobs finish, queued jobs fail with a typed engine_closed error.
+// With -job-log, terminal job records persist across restarts (bounded,
+// JSONL, assignment vectors stripped).
 package main
 
 import (
@@ -36,11 +45,16 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
-		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file once serving (for scripts using -addr :0)")
-		workers  = flag.Int("workers", 0, "concurrent partition computations (0 = GOMAXPROCS)")
-		cacheMB  = flag.Int("cache-mb", 0, "result cache budget in MiB of payload (0 = default 64)")
-		jobPar   = flag.Int("job-parallelism", 0, "per-computation worker width; never changes results (0 = auto)")
+		addr      = flag.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+		addrFile  = flag.String("addr-file", "", "write the resolved listen address to this file once serving (for scripts using -addr :0)")
+		workers   = flag.Int("workers", 0, "concurrent partition computations (0 = GOMAXPROCS)")
+		cacheMB   = flag.Int("cache-mb", 0, "result cache budget in MiB of payload (0 = default 64)")
+		storeMB   = flag.Int("store-mb", 0, "graph store budget in MiB of CSR payload (0 = default 256)")
+		jobPar    = flag.Int("job-parallelism", 0, "per-computation worker width; never changes results (0 = auto)")
+		jobLog    = flag.String("job-log", "", "JSONL file persisting terminal job records across restarts (empty = no persistence)")
+		jobLogMax = flag.Int("job-log-max", 0, "job log record bound (0 = default 1024)")
+		rate      = flag.Float64("rate", 0, "per-client sustained mutating-requests/sec quota (0 = no admission control)")
+		burst     = flag.Float64("burst", 0, "per-client burst allowance on top of -rate (0 = max(rate, 1))")
 	)
 	flag.Parse()
 
@@ -51,13 +65,36 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var (
+		jlog     *service.JobLog
+		restored []service.JobInfo
+	)
+	if *jobLog != "" {
+		var err error
+		jlog, restored, err = service.OpenJobLog(*jobLog, *jobLogMax)
+		if err != nil {
+			log.Fatalf("partd: %v", err)
+		}
+		defer jlog.Close()
+		if len(restored) > 0 {
+			log.Printf("partd: restored %d job records from %s", len(restored), *jobLog)
+		}
+	}
+
 	engine := service.New(service.Config{
 		Workers:        *workers,
 		CacheBytes:     int64(*cacheMB) << 20,
 		JobParallelism: *jobPar,
+		Log:            jlog,
+		Restore:        restored,
 	})
+	store := service.NewGraphStore(int64(*storeMB) << 20)
+	var quota *service.Quota
+	if *rate > 0 {
+		quota = service.NewQuota(*rate, *burst)
+	}
 	srv := &http.Server{
-		Handler:           service.NewHandler(engine),
+		Handler:           service.NewHandler(engine, service.WithStore(store), service.WithQuota(quota)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
@@ -65,7 +102,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("partd: %v", err)
 	}
-	log.Printf("partd: listening on %s", ln.Addr())
+	log.Printf("partd: listening on %s (api %s)", ln.Addr(), service.APIVersion)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
 			log.Fatalf("partd: writing -addr-file: %v", err)
@@ -87,6 +124,8 @@ func main() {
 	}
 	engine.Close()
 	s := engine.Stats()
-	fmt.Printf("partd: served %d jobs (%d computed, %d failed, %d cache hits, %d coalesced, %d evictions)\n",
-		s.JobsSubmitted, s.JobsDone, s.JobsFailed, s.CacheHits, s.Coalesced, s.CacheEvictions)
+	st := store.Stats()
+	fmt.Printf("partd: served %d jobs (%d computed, %d failed, %d cancelled, %d cache hits, %d coalesced, %d evictions); store %d graphs (%d parses, %d dedups)\n",
+		s.JobsSubmitted, s.JobsDone, s.JobsFailed, s.JobsCancelled, s.CacheHits, s.Coalesced, s.CacheEvictions,
+		st.Graphs, st.Parses, st.Dedups)
 }

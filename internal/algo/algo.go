@@ -11,6 +11,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -58,6 +59,30 @@ type Options struct {
 	// this knob is the budget that keeps spectral bisection's runtime
 	// bounded and predictable on large graphs.
 	LanczosIter int
+
+	// Ctx, when non-nil, requests cooperative cancellation: the iterative
+	// algorithms poll it at their natural serial checkpoints — between
+	// refinement passes (kl, fm), between uncoarsening levels (multilevel),
+	// and between generations/epochs (the GA family) — and return their
+	// current partition early once it is done. The returned partition is
+	// still a valid k-way partition (every checkpoint sits at a consistent
+	// state), but it is a *partial* answer: callers that care must check
+	// Ctx.Err() themselves after Run returns — the service engine does, and
+	// discards cancelled results instead of caching them. Geometric and
+	// spectral algorithms run to completion regardless; they are fast and
+	// have no safe mid-run checkpoint. Never part of any cache key.
+	Ctx context.Context
+}
+
+// stop converts Ctx into the stop-polling callback the iterative packages
+// accept: nil (never stop) when no context was supplied, so the zero Options
+// costs nothing on the hot refinement paths.
+func (o Options) stop() func() bool {
+	if o.Ctx == nil {
+		return nil
+	}
+	ctx := o.Ctx
+	return func() bool { return ctx.Err() != nil }
 }
 
 func (o Options) withDefaults() Options {

@@ -78,7 +78,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		kl.RefineEvalPar(g, p, nil, opt.Objective, opt.RefinePasses, opt.Workers)
+		kl.RefineEvalParStop(g, p, nil, opt.Objective, opt.RefinePasses, opt.Workers, opt.stop())
 		return p, nil
 	}))
 
@@ -91,7 +91,7 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		fm.Refine(g, p, fm.Config{MaxPasses: opt.RefinePasses, Workers: opt.Workers, Objective: opt.Objective})
+		fm.Refine(g, p, fm.Config{MaxPasses: opt.RefinePasses, Workers: opt.Workers, Objective: opt.Objective, Stop: opt.stop()})
 		return p, nil
 	}))
 
@@ -201,6 +201,7 @@ func registerMultilevel(name, innerName string, refiner multilevel.Refiner, info
 			Workers:      opt.Workers,
 			Objective:    opt.Objective,
 			Seed:         opt.Seed,
+			Stop:         opt.stop(),
 		}, inner)
 	}))
 }
@@ -243,6 +244,7 @@ func runGA(g *graph.Graph, operator string, o Options) (*partition.Partition, er
 		EvalWorkers: opt.EvalWorkers,
 		Seed:        opt.Seed,
 	}
+	stop := o.stop()
 	if opt.Islands <= 1 {
 		base.Crossover = mkOp(0)
 		e, err := ga.New(g, base)
@@ -250,13 +252,22 @@ func runGA(g *graph.Graph, operator string, o Options) (*partition.Partition, er
 			return nil, err
 		}
 		defer e.Close()
-		return e.Run(opt.Generations).Part, nil
+		// Cancellation checkpoint: between generations, the single-population
+		// engine's only serial point.
+		for i := 0; i < opt.Generations; i++ {
+			if stop != nil && stop() {
+				break
+			}
+			e.Step()
+		}
+		return e.Best().Part, nil
 	}
 	m, err := dpga.New(g, dpga.Config{
 		Base:             base,
 		Islands:          opt.Islands,
 		Parallel:         true,
 		CrossoverFactory: mkOp,
+		Stop:             stop,
 	})
 	if err != nil {
 		return nil, err

@@ -142,6 +142,12 @@ type Config struct {
 	// not be shared across islands); optional otherwise. The island index
 	// is provided for diagnostics.
 	CrossoverFactory func(island int) ga.Crossover
+
+	// Stop, when non-nil, is polled between epochs (the migration barrier,
+	// the model's only serial checkpoint): Run returns the best individual
+	// found so far once it reports true. It is never consulted inside an
+	// epoch, so cancellation latency is MigrationInterval generations.
+	Stop func() bool
 }
 
 // Model is a running distributed GA.
@@ -210,6 +216,9 @@ func New(g *graph.Graph, cfg Config) (*Model, error) {
 // islands.
 func (m *Model) Run(generations int) *ga.Individual {
 	for done := 0; done < generations; {
+		if m.cfg.Stop != nil && m.cfg.Stop() {
+			break
+		}
 		step := m.cfg.MigrationInterval
 		if generations-done < step {
 			step = generations - done

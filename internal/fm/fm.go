@@ -53,6 +53,11 @@ type Config struct {
 	// objective constraints route commvol to the KL refiners instead, and
 	// RefineEval panics if handed it anyway.
 	Objective partition.Objective
+	// Stop, when non-nil, is polled before each pass; a refinement whose
+	// Stop reports true returns early with the gain applied so far. Pass
+	// boundaries are consistent states (every kept move went through ev),
+	// so early return yields a valid, just less refined, partition.
+	Stop func() bool
 }
 
 // Refine improves p in place, minimizing the edge cut subject to the
@@ -108,6 +113,9 @@ func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, cfg 
 	s := newScratch(n, p.Parts)
 	var total float64
 	for pass := 0; pass < maxPasses; pass++ {
+		if cfg.Stop != nil && cfg.Stop() {
+			break
+		}
 		gain := onePass(g, p, ev, minSize, maxSize, s, cfg.Workers, cfg.Objective)
 		total += gain
 		if gain <= 0 {

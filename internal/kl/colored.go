@@ -52,6 +52,19 @@ import (
 // offspring climbing keeps the serial sweep; the multilevel uncoarsening
 // phase and the flat kl/fm registry algorithms use this one.
 func HillClimbColored(g *graph.Graph, p *partition.Partition, o partition.Objective, maxPasses, workers int, ev *partition.Eval) int {
+	return hillClimbColored(g, p, o, maxPasses, workers, ev, nil)
+}
+
+// HillClimbColoredStop is HillClimbColored with cooperative cancellation: a
+// non-nil stop is polled before each pass, and the climb returns its move
+// count so far once it reports true. Pass boundaries are consistent states
+// (ev stays exactly in sync with p), so an early return is a valid — just
+// less refined — partition.
+func HillClimbColoredStop(g *graph.Graph, p *partition.Partition, o partition.Objective, maxPasses, workers int, ev *partition.Eval, stop func() bool) int {
+	return hillClimbColored(g, p, o, maxPasses, workers, ev, stop)
+}
+
+func hillClimbColored(g *graph.Graph, p *partition.Partition, o partition.Objective, maxPasses, workers int, ev *partition.Eval, stop func() bool) int {
 	if ev == nil {
 		ev = partition.NewEvalBoundaryPar(g, p, workers)
 	} else if !ev.TracksBoundary() {
@@ -70,6 +83,9 @@ func HillClimbColored(g *graph.Graph, p *partition.Partition, o partition.Object
 	}
 	moves := 0
 	for pass := 0; maxPasses <= 0 || pass < maxPasses; pass++ {
+		if stop != nil && stop() {
+			break
+		}
 		m := c.pass()
 		moves += m
 		if m == 0 {

@@ -256,10 +256,22 @@ func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, o pa
 // boundary tracking enabled, so even the flat path pays the full-graph scan
 // once instead of once per pass.
 func RefineEvalPar(g *graph.Graph, p *partition.Partition, ev *partition.Eval, o partition.Objective, maxPasses, workers int) {
+	RefineEvalParStop(g, p, ev, o, maxPasses, workers, nil)
+}
+
+// RefineEvalParStop is RefineEvalPar with cooperative cancellation: a non-nil
+// stop is polled between climbing passes, and a refinement that stops early
+// skips the final rebalance too — the caller asked for "soonest consistent
+// state", and every pass boundary is one (the climb only ever applies
+// complete, eval-synced moves). A nil stop is exactly RefineEvalPar.
+func RefineEvalParStop(g *graph.Graph, p *partition.Partition, ev *partition.Eval, o partition.Objective, maxPasses, workers int, stop func() bool) {
 	if ev == nil {
 		ev = partition.NewEvalBoundaryPar(g, p, workers)
 	}
-	HillClimbColored(g, p, o, maxPasses, workers, ev)
+	hillClimbColored(g, p, o, maxPasses, workers, ev, stop)
+	if stop != nil && stop() {
+		return
+	}
 	rebalance(g, p, ev, o, workers)
 }
 

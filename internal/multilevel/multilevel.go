@@ -206,6 +206,14 @@ type Config struct {
 	Seed      int64
 	// Stats, when non-nil, receives the run's phase timings.
 	Stats *Stats
+	// Stop, when non-nil, requests cooperative cancellation: it is polled
+	// between uncoarsening levels and forwarded into every per-level refiner
+	// (which polls it between passes). A stopped run still projects the
+	// partition all the way down to the input graph — projection is cheap
+	// and is what keeps the returned partition valid for g — it just stops
+	// spending on refinement. The coarsening and coarse-solve phases run to
+	// completion; they are the cheap front of the V-cycle.
+	Stop func() bool
 }
 
 // Stats reports where a Partition call spent its wall time, phase by phase.
@@ -323,24 +331,29 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 		}
 		stats.Project += time.Since(start)
 		start = time.Now()
-		switch c.Refiner {
-		case RefineKLFM:
+		stopped := c.Stop != nil && c.Stop()
+		switch {
+		case stopped:
+			// Cancellation between levels: skip this level's refinement
+			// entirely but keep projecting — the loop must reach levels[0]
+			// for the partition to be a valid answer for g.
+		case c.Refiner == RefineKLFM:
 			// Climb first (each pass is cheap and takes every strictly
 			// improving move), then a single FM pass to slide through the
 			// zero-gain plateaus steepest descent cannot cross, then a final
 			// climb-and-rebalance to harvest what FM exposed. Under CommVolume
 			// the FM step is skipped (fm does not support that objective), so
 			// the combination degrades to pure colored climbing.
-			kl.HillClimbColored(lvl.Graph, fine, c.Objective, c.RefinePasses, c.Workers, ev)
+			kl.HillClimbColoredStop(lvl.Graph, fine, c.Objective, c.RefinePasses, c.Workers, ev, c.Stop)
 			if c.Objective != partition.CommVolume {
-				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: 1, Workers: c.Workers, Objective: c.Objective})
+				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: 1, Workers: c.Workers, Objective: c.Objective, Stop: c.Stop})
 			}
-			kl.RefineEvalPar(lvl.Graph, fine, ev, c.Objective, 1, c.Workers)
-		case RefineKL:
-			kl.RefineEvalPar(lvl.Graph, fine, ev, c.Objective, c.RefinePasses, c.Workers)
-		case RefineFM:
+			kl.RefineEvalParStop(lvl.Graph, fine, ev, c.Objective, 1, c.Workers, c.Stop)
+		case c.Refiner == RefineKL:
+			kl.RefineEvalParStop(lvl.Graph, fine, ev, c.Objective, c.RefinePasses, c.Workers, c.Stop)
+		case c.Refiner == RefineFM:
 			if c.Objective != partition.CommVolume {
-				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: c.RefinePasses, Workers: c.Workers, Objective: c.Objective})
+				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: c.RefinePasses, Workers: c.Workers, Objective: c.Objective, Stop: c.Stop})
 			}
 			kl.RebalancePar(lvl.Graph, fine, ev, c.Objective, c.Workers)
 		}

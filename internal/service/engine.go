@@ -16,6 +16,14 @@
 // attach to the same computation and are reported as cache hits. This is
 // what bounds the cost of a thundering herd of identical requests to one
 // partition run.
+//
+// Jobs are cancellable: a queued job dies immediately, a running one has its
+// context cancelled and the algorithm returns at its next checkpoint
+// (between refinement passes — see algo.Options.Ctx). Cancelling one job of
+// a coalesced group only detaches that job; the computation itself is
+// cancelled only when its last interested job is gone, so one client's
+// DELETE can never destroy a result another client is waiting on. Cancelled
+// computations never populate the result cache.
 package service
 
 import (
@@ -55,25 +63,50 @@ type Config struct {
 	// limit; past the bound Submit fails fast with an overloaded error
 	// (backpressure) instead of accepting work it cannot hold.
 	MaxQueue int
+	// Log, when non-nil, receives one record per job that reaches a
+	// terminal state, giving the daemon a bounded persistent job history.
+	Log *JobLog
+	// Restore pre-populates the job table with terminal jobs from a
+	// previous run (what OpenJobLog returned), so GET /v1/jobs/{id} keeps
+	// answering across a restart. Restored jobs count against JobHistory
+	// and are never re-logged.
+	Restore []JobInfo
 }
 
 // ErrOverloaded is returned (wrapped) by Submit when the computation queue
 // is full; the HTTP layer maps it to 429.
 var ErrOverloaded = fmt.Errorf("service: computation queue is full")
 
-// ErrNoJob is returned (wrapped) by WaitJob for unknown or
+// ErrNoJob is returned (wrapped) by WaitJob and CancelJob for unknown or
 // history-evicted job ids; the HTTP layer maps it to 404.
 var ErrNoJob = fmt.Errorf("service: no such job")
+
+// ErrEngineClosed is the typed shutdown error: Submit after Close fails
+// with it, and queued jobs that Close failed carry it, so a waiter woken by
+// shutdown can tell "the daemon is going away" (retry elsewhere) from "my
+// request was bad" (don't retry). The HTTP layer maps it to a structured
+// 503 with code "engine_closed".
+var ErrEngineClosed = fmt.Errorf("service: engine is shut down (engine_closed)")
+
+// ErrCancelled marks a job terminated by CancelJob rather than by its own
+// completion or failure.
+var ErrCancelled = fmt.Errorf("service: job cancelled")
 
 // State is a job's lifecycle position.
 type State string
 
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
 )
+
+// terminal reports whether s is a final state.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
 
 // Result is a completed partition with the quality metrics the benchmark
 // suite reports.
@@ -113,10 +146,11 @@ type Stats struct {
 	JobsRunning        int    `json:"jobs_running"`
 	JobsDone           uint64 `json:"jobs_done"`
 	JobsFailed         uint64 `json:"jobs_failed"`
-	CacheHits          uint64 `json:"cache_hits"`      // completed-result hits
-	Coalesced          uint64 `json:"coalesced"`       // joined an identical in-flight computation
-	CacheMisses        uint64 `json:"cache_misses"`    // requests that had to compute
-	CacheEvictions     uint64 `json:"cache_evictions"` // LRU evictions
+	JobsCancelled      uint64 `json:"jobs_cancelled"` // jobs terminated by CancelJob
+	CacheHits          uint64 `json:"cache_hits"`     // completed-result hits
+	Coalesced          uint64 `json:"coalesced"`      // joined an identical in-flight computation
+	CacheMisses        uint64 `json:"cache_misses"`   // requests that had to compute
+	CacheEvictions     uint64 `json:"cache_evictions"`
 	CacheEntries       int    `json:"cache_entries"`
 	CacheBytes         int64  `json:"cache_bytes"`          // payload bytes currently retained
 	CacheCapacityBytes int64  `json:"cache_capacity_bytes"` // the configured budget
@@ -147,14 +181,27 @@ type entry struct {
 	err     error
 	done    chan struct{} // closed on completion, for waiters
 	execNum int           // worker slot, for debugging
+
+	// Cancellation plumbing. ctx is threaded into the algorithm run; cancel
+	// fires it. refs counts attached live jobs — the computation is only
+	// cancelled when the last of them is (a coalesced sibling's result must
+	// survive any other client's DELETE). jobs lists every attached job for
+	// terminal-state logging.
+	ctx    context.Context
+	cancel context.CancelFunc
+	refs   int
+	jobs   []*job
 }
 
 // job is one submitted request; many jobs may share one entry.
 type job struct {
-	id      string
-	created time.Time
-	cached  bool
-	entry   *entry
+	id        string
+	created   time.Time
+	cached    bool
+	entry     *entry
+	cancelled bool          // this job was individually cancelled
+	cancelCh  chan struct{} // closed on individual cancellation, for waiters
+	logged    bool          // terminal record already written to the job log
 }
 
 // Engine is the job engine. Create with New, stop with Close.
@@ -173,8 +220,8 @@ type Engine struct {
 	closed   bool
 	wg       sync.WaitGroup
 
-	jobsSubmitted, jobsDone, jobsFailed uint64
-	hits, coalesced, misses, evictions  uint64
+	jobsSubmitted, jobsDone, jobsFailed, jobsCancelled uint64
+	hits, coalesced, misses, evictions                 uint64
 }
 
 // New starts an Engine with cfg's worker pool.
@@ -202,6 +249,7 @@ func New(cfg Config) *Engine {
 		cache:    newLRU(cfg.CacheBytes),
 	}
 	e.cond = sync.NewCond(&e.mu)
+	e.restore(cfg.Restore)
 	e.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go e.worker(i)
@@ -209,12 +257,116 @@ func New(cfg Config) *Engine {
 	return e
 }
 
+// restore seeds the job table from a previous run's terminal records. The id
+// sequence resumes past the largest restored id, so new jobs never collide
+// with restored ones.
+func (e *Engine) restore(records []JobInfo) {
+	for _, rec := range records {
+		if rec.ID == "" || !rec.State.terminal() {
+			continue
+		}
+		if _, dup := e.jobs[rec.ID]; dup {
+			continue
+		}
+		ent := &entry{
+			key:    rec.Key,
+			algo:   rec.Algo,
+			opts:   algo.Options{Parts: rec.Parts, Seed: rec.Seed},
+			state:  rec.State,
+			result: rec.Result,
+			done:   closedChan,
+		}
+		if rec.Error != "" {
+			ent.err = fmt.Errorf("%s", rec.Error)
+		}
+		j := &job{
+			id:       rec.ID,
+			created:  time.UnixMilli(rec.Created),
+			cached:   rec.Cached,
+			entry:    ent,
+			cancelCh: closedChan,
+			logged:   true, // already persisted by the run that produced it
+		}
+		if rec.State == StateCancelled {
+			j.cancelled = true
+		}
+		e.jobs[j.id] = j
+		e.jobOrder = append(e.jobOrder, j.id)
+		var n uint64
+		if _, err := fmt.Sscanf(rec.ID, "j%d", &n); err == nil && n > e.seq {
+			e.seq = n
+		}
+	}
+	for len(e.jobs) > e.cfg.JobHistory && len(e.jobOrder) > 0 {
+		id := e.jobOrder[0]
+		e.jobOrder = e.jobOrder[1:]
+		delete(e.jobs, id)
+	}
+}
+
+// closedChan is a pre-closed channel shared by everything that is born
+// terminal (restored jobs, cache hits never wait).
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
+// Validate checks a request against the registry's declared constraints
+// without submitting it. It returns nil or a *RequestError; batch callers
+// use it to validate every spec before submitting any, so a batch is
+// accepted or refused atomically.
+func (e *Engine) Validate(g *graph.Graph, algoName string, opts algo.Options) error {
+	if re := validateRequest(g, algoName, opts); re != nil {
+		return re
+	}
+	return nil
+}
+
+func validateRequest(g *graph.Graph, algoName string, opts algo.Options) *RequestError {
+	p, err := algo.Get(algoName)
+	if err != nil {
+		return reqErr("unknown_algo", "unknown algorithm %q (see /v1/algos; available: %v)", algoName, algo.Names())
+	}
+	if opts.Parts < 1 {
+		return reqErr("bad_parts", "parts must be >= 1, got %d", opts.Parts)
+	}
+	if opts.Parts > g.NumNodes() {
+		return reqErr("bad_parts", "parts %d exceeds the graph's %d nodes", opts.Parts, g.NumNodes())
+	}
+	// Partition assignments are uint16 repo-wide; a larger part count would
+	// silently wrap part ids instead of failing.
+	if opts.Parts > 1<<16 {
+		return reqErr("bad_parts", "parts %d exceeds the supported maximum %d", opts.Parts, 1<<16)
+	}
+	info := p.Info()
+	if info.NeedsCoords && !g.HasCoords() {
+		return reqErr("needs_coords", "algorithm %q requires a geometric embedding and the input format carries none", algoName)
+	}
+	if info.PowerOfTwoParts && opts.Parts&(opts.Parts-1) != 0 {
+		return reqErr("parts_not_power_of_two", "algorithm %q requires a power-of-two part count, got %d", algoName, opts.Parts)
+	}
+	if !info.SupportsObjective(opts.Objective) {
+		return reqErr("unsupported_objective", "algorithm %q does not support objective %q (see /v1/algos)", algoName, opts.Objective.FlagName())
+	}
+	return nil
+}
+
 // Submit validates a request against the registry's declared constraints and
 // either answers it from the cache, attaches it to an identical in-flight
 // computation, or queues a new computation. It returns the job's snapshot;
 // poll GetJob or block on WaitJob for completion.
 func (e *Engine) Submit(g *graph.Graph, algoName string, opts algo.Options) (JobInfo, error) {
-	_, info, err := e.submit(g, algoName, opts)
+	_, info, err := e.submit(g, GraphHash(g), algoName, opts)
+	return info, err
+}
+
+// SubmitStored is Submit for a graph already held in a GraphStore: the
+// stored content address keys the cache directly, so no rehash happens —
+// an N-spec batch over one stored graph costs one parse and one hash total,
+// both paid at PUT time.
+func (e *Engine) SubmitStored(sg *StoredGraph, algoName string, opts algo.Options) (JobInfo, error) {
+	_, info, err := e.submit(sg.Graph, sg.Hash, algoName, opts)
 	return info, err
 }
 
@@ -223,12 +375,28 @@ func (e *Engine) Submit(g *graph.Graph, algoName string, opts algo.Options) (Job
 // is delivered even if a burst of other submissions evicts the job from
 // the pollable history meanwhile.
 func (e *Engine) SubmitWait(ctx context.Context, g *graph.Graph, algoName string, opts algo.Options) (JobInfo, error) {
-	j, info, err := e.submit(g, algoName, opts)
+	j, info, err := e.submit(g, GraphHash(g), algoName, opts)
 	if err != nil {
 		return info, err
 	}
+	return e.waitOn(ctx, j)
+}
+
+// SubmitStoredWait is SubmitWait over a stored graph (see SubmitStored).
+func (e *Engine) SubmitStoredWait(ctx context.Context, sg *StoredGraph, algoName string, opts algo.Options) (JobInfo, error) {
+	j, info, err := e.submit(sg.Graph, sg.Hash, algoName, opts)
+	if err != nil {
+		return info, err
+	}
+	return e.waitOn(ctx, j)
+}
+
+// waitOn blocks until j reaches a terminal state — its computation finishes
+// or the job is individually cancelled — or ctx is done.
+func (e *Engine) waitOn(ctx context.Context, j *job) (JobInfo, error) {
 	select {
 	case <-j.entry.done:
+	case <-j.cancelCh:
 	case <-ctx.Done():
 		return JobInfo{}, ctx.Err()
 	}
@@ -237,45 +405,26 @@ func (e *Engine) SubmitWait(ctx context.Context, g *graph.Graph, algoName string
 	return e.snapshotLocked(j), nil
 }
 
-func (e *Engine) submit(g *graph.Graph, algoName string, opts algo.Options) (*job, JobInfo, error) {
-	p, err := algo.Get(algoName)
-	if err != nil {
-		return nil, JobInfo{}, reqErr("unknown_algo", "unknown algorithm %q (see /v1/algos; available: %v)", algoName, algo.Names())
+func (e *Engine) submit(g *graph.Graph, graphHash, algoName string, opts algo.Options) (*job, JobInfo, error) {
+	if re := validateRequest(g, algoName, opts); re != nil {
+		return nil, JobInfo{}, re
 	}
-	if opts.Parts < 1 {
-		return nil, JobInfo{}, reqErr("bad_parts", "parts must be >= 1, got %d", opts.Parts)
-	}
-	if opts.Parts > g.NumNodes() {
-		return nil, JobInfo{}, reqErr("bad_parts", "parts %d exceeds the graph's %d nodes", opts.Parts, g.NumNodes())
-	}
-	// Partition assignments are uint16 repo-wide; a larger part count would
-	// silently wrap part ids instead of failing.
-	if opts.Parts > 1<<16 {
-		return nil, JobInfo{}, reqErr("bad_parts", "parts %d exceeds the supported maximum %d", opts.Parts, 1<<16)
-	}
-	info := p.Info()
-	if info.NeedsCoords && !g.HasCoords() {
-		return nil, JobInfo{}, reqErr("needs_coords", "algorithm %q requires a geometric embedding and the input format carries none", algoName)
-	}
-	if info.PowerOfTwoParts && opts.Parts&(opts.Parts-1) != 0 {
-		return nil, JobInfo{}, reqErr("parts_not_power_of_two", "algorithm %q requires a power-of-two part count, got %d", algoName, opts.Parts)
-	}
-	if !info.SupportsObjective(opts.Objective) {
-		return nil, JobInfo{}, reqErr("unsupported_objective", "algorithm %q does not support objective %q (see /v1/algos)", algoName, opts.Objective.FlagName())
-	}
-
 	opts = normalizeOptions(opts)
-	key := cacheKey(g, algoName, opts)
+	key := cacheKeyFromHash(graphHash, algoName, opts)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
-		return nil, JobInfo{}, fmt.Errorf("service: engine is shut down")
+		return nil, JobInfo{}, fmt.Errorf("%w: not accepting new jobs", ErrEngineClosed)
 	}
 	newJob := func() *job {
 		e.jobsSubmitted++
 		e.seq++
-		j := &job{id: fmt.Sprintf("j%08d", e.seq), created: time.Now()}
+		j := &job{
+			id:       fmt.Sprintf("j%08d", e.seq),
+			created:  time.Now(),
+			cancelCh: make(chan struct{}),
+		}
 		e.jobs[j.id] = j
 		e.jobOrder = append(e.jobOrder, j.id)
 		e.evictJobHistoryLocked()
@@ -287,6 +436,7 @@ func (e *Engine) submit(g *graph.Graph, algoName string, opts algo.Options) (*jo
 		j := newJob()
 		j.cached = true
 		j.entry = ent
+		e.logJobLocked(j) // born terminal
 		return j, e.snapshotLocked(j), nil
 	}
 	if ent, ok := e.inflight[key]; ok {
@@ -294,6 +444,8 @@ func (e *Engine) submit(g *graph.Graph, algoName string, opts algo.Options) (*jo
 		j := newJob()
 		j.cached = true
 		j.entry = ent
+		ent.refs++
+		ent.jobs = append(ent.jobs, j)
 		return j, e.snapshotLocked(j), nil
 	}
 	// A new computation needs a queue slot; every queued entry pins its
@@ -304,16 +456,21 @@ func (e *Engine) submit(g *graph.Graph, algoName string, opts algo.Options) (*jo
 		return nil, JobInfo{}, fmt.Errorf("%w (%d computations waiting); retry later", ErrOverloaded, len(e.queue))
 	}
 	e.misses++
+	ctx, cancel := context.WithCancel(context.Background())
 	ent := &entry{
-		key:   key,
-		algo:  algoName,
-		opts:  opts,
-		graph: g,
-		state: StateQueued,
-		done:  make(chan struct{}),
+		key:    key,
+		algo:   algoName,
+		opts:   opts,
+		graph:  g,
+		state:  StateQueued,
+		done:   make(chan struct{}),
+		ctx:    ctx,
+		cancel: cancel,
+		refs:   1,
 	}
 	j := newJob()
 	j.entry = ent
+	ent.jobs = append(ent.jobs, j)
 	e.inflight[key] = ent
 	e.queue = append(e.queue, ent)
 	e.cond.Signal()
@@ -329,7 +486,7 @@ func (e *Engine) evictJobHistoryLocked() {
 	for len(e.jobs) > e.cfg.JobHistory && len(e.jobOrder) > 0 {
 		id := e.jobOrder[0]
 		j, ok := e.jobs[id]
-		if ok && j.entry.state != StateDone && j.entry.state != StateFailed {
+		if ok && !j.cancelled && !j.entry.state.terminal() {
 			return // oldest job still active; nothing older to free
 		}
 		e.jobOrder = e.jobOrder[1:]
@@ -349,10 +506,12 @@ func (e *Engine) GetJob(id string) (JobInfo, bool) {
 	return e.snapshotLocked(j), true
 }
 
-// WaitJob blocks until the job completes (done or failed) or ctx is
-// cancelled, and returns the final snapshot. The job reference is resolved
-// once up front, so history eviction during the wait cannot lose the
-// result. Unknown ids fail with an error wrapping ErrNoJob.
+// WaitJob blocks until the job reaches a terminal state (done, failed, or
+// cancelled) or ctx is cancelled, and returns the final snapshot. The job
+// reference is resolved once up front, so history eviction during the wait
+// cannot lose the result; an individually cancelled job wakes its waiters
+// promptly even when its (shared) computation keeps running for someone
+// else. Unknown ids fail with an error wrapping ErrNoJob.
 func (e *Engine) WaitJob(ctx context.Context, id string) (JobInfo, error) {
 	e.mu.Lock()
 	j, ok := e.jobs[id]
@@ -360,14 +519,63 @@ func (e *Engine) WaitJob(ctx context.Context, id string) (JobInfo, error) {
 	if !ok {
 		return JobInfo{}, fmt.Errorf("%w: %q", ErrNoJob, id)
 	}
-	select {
-	case <-j.entry.done:
-	case <-ctx.Done():
-		return JobInfo{}, ctx.Err()
-	}
+	return e.waitOn(ctx, j)
+}
+
+// CancelJob cancels one job. A queued job (whose computation no one else
+// wants) is failed immediately without ever running; a running computation
+// has its context cancelled and stops at the algorithm's next checkpoint; a
+// job coalesced onto a computation other jobs still want merely detaches —
+// the computation and its eventual cached result survive. Cancelling an
+// already-cancelled job is a no-op returning the current snapshot;
+// cancelling a finished job returns its snapshot plus a *RequestError with
+// code "job_finished" (there is nothing left to cancel).
+func (e *Engine) CancelJob(id string) (JobInfo, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	j, ok := e.jobs[id]
+	if !ok {
+		return JobInfo{}, fmt.Errorf("%w: %q", ErrNoJob, id)
+	}
+	if j.cancelled {
+		return e.snapshotLocked(j), nil
+	}
+	ent := j.entry
+	if ent.state.terminal() {
+		return e.snapshotLocked(j), reqErr("job_finished", "job %q already %s; nothing to cancel", id, ent.state)
+	}
+	j.cancelled = true
+	close(j.cancelCh)
+	e.jobsCancelled++
+	ent.refs--
+	if ent.refs <= 0 {
+		// Last interested job gone: kill the computation. Drop the key from
+		// the in-flight index either way, so a fresh identical submission
+		// starts a fresh computation instead of attaching to a dying one.
+		delete(e.inflight, ent.key)
+		switch ent.state {
+		case StateQueued:
+			e.removeQueuedLocked(ent)
+			ent.state = StateCancelled
+			ent.err = ErrCancelled
+			ent.graph = nil
+			close(ent.done)
+		case StateRunning:
+			ent.cancel() // the worker observes ctx and publishes the cancel
+		}
+	}
+	e.logJobLocked(j)
 	return e.snapshotLocked(j), nil
+}
+
+// removeQueuedLocked drops ent from the FIFO. e.mu must be held.
+func (e *Engine) removeQueuedLocked(ent *entry) {
+	for i, q := range e.queue {
+		if q == ent {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			return
+		}
+	}
 }
 
 // Workers returns the resolved worker-pool width.
@@ -384,6 +592,7 @@ func (e *Engine) Stats() Stats {
 		JobsRunning:        e.running,
 		JobsDone:           e.jobsDone,
 		JobsFailed:         e.jobsFailed,
+		JobsCancelled:      e.jobsCancelled,
 		CacheHits:          e.hits,
 		Coalesced:          e.coalesced,
 		CacheMisses:        e.misses,
@@ -394,9 +603,11 @@ func (e *Engine) Stats() Stats {
 	}
 }
 
-// Close stops the engine: queued-but-unstarted computations fail with a
-// shutdown error, running ones are allowed to finish, and the worker pool
-// drains before Close returns. Submit after Close is an error.
+// Close stops the engine: queued-but-unstarted computations fail with
+// ErrEngineClosed (their waiters wake immediately — Close never strands a
+// SubmitWait), running ones are allowed to finish, and the worker pool
+// drains before Close returns. Submit after Close fails with
+// ErrEngineClosed.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	if e.closed {
@@ -407,11 +618,14 @@ func (e *Engine) Close() {
 	e.closed = true
 	for _, ent := range e.queue {
 		ent.state = StateFailed
-		ent.err = fmt.Errorf("service: engine shut down before the job ran")
+		ent.err = fmt.Errorf("%w before the job ran", ErrEngineClosed)
 		ent.graph = nil
 		delete(e.inflight, ent.key)
 		e.jobsFailed++
 		close(ent.done)
+		for _, j := range ent.jobs {
+			e.logJobLocked(j)
+		}
 	}
 	e.queue = nil
 	e.cond.Broadcast()
@@ -442,24 +656,40 @@ func (e *Engine) worker(slot int) {
 
 		e.mu.Lock()
 		e.running--
-		delete(e.inflight, ent.key)
-		if err != nil {
+		if e.inflight[ent.key] == ent {
+			delete(e.inflight, ent.key)
+		}
+		switch {
+		case ent.ctx.Err() != nil:
+			// Cancelled mid-run: the algorithm returned early (possibly with
+			// a valid partial partition). The result is discarded, never
+			// cached — a cancelled job must not poison the content-addressed
+			// cache with a half-refined answer.
+			ent.state = StateCancelled
+			ent.err = ErrCancelled
+		case err != nil:
 			ent.state = StateFailed
 			ent.err = err
 			e.jobsFailed++
-		} else {
+		default:
 			ent.state = StateDone
 			ent.result = res
 			e.jobsDone++
 			e.evictions += uint64(e.cache.add(ent.key, ent))
 		}
 		ent.graph = nil // the CSR arrays are the bulk of a job's footprint
+		ent.cancel()    // release the context's resources
 		close(ent.done)
+		for _, j := range ent.jobs {
+			e.logJobLocked(j)
+		}
 		e.mu.Unlock()
 	}
 }
 
-// compute runs the actual partitioner. A panicking algorithm must not take
+// compute runs the actual partitioner with the entry's cancellation context
+// threaded through algo.Options.Ctx, so the registered algorithms observe a
+// CancelJob at their serial checkpoints. A panicking algorithm must not take
 // the daemon down, so panics become failed jobs.
 func (e *Engine) compute(ent *entry) (res *Result, err error) {
 	defer func() {
@@ -467,14 +697,21 @@ func (e *Engine) compute(ent *entry) (res *Result, err error) {
 			res, err = nil, fmt.Errorf("service: %s panicked: %v\n%s", ent.algo, r, debug.Stack())
 		}
 	}()
+	if ent.ctx.Err() != nil {
+		return nil, ErrCancelled // cancelled while queued but already popped
+	}
 	opts := ent.opts
 	opts.Workers = e.cfg.JobParallelism
 	opts.EvalWorkers = e.cfg.JobParallelism
+	opts.Ctx = ent.ctx
 	g := ent.graph
 	start := time.Now()
 	p, err := algo.Run(g, ent.algo, opts)
 	if err != nil {
 		return nil, err
+	}
+	if ent.ctx.Err() != nil {
+		return nil, ErrCancelled // the publish path re-checks ctx anyway
 	}
 	elapsed := time.Since(start)
 	if err := p.Validate(g); err != nil {
@@ -502,7 +739,23 @@ func (e *Engine) compute(ent *entry) (res *Result, err error) {
 	return res, nil
 }
 
-// snapshotLocked assembles a JobInfo; e.mu must be held.
+// logJobLocked appends j's terminal snapshot to the job log, once. Jobs that
+// are not yet terminal (a non-cancelled job on a live entry) are skipped;
+// the publish path calls again when the entry finishes. e.mu must be held.
+func (e *Engine) logJobLocked(j *job) {
+	if e.cfg.Log == nil || j.logged {
+		return
+	}
+	if !j.cancelled && !j.entry.state.terminal() {
+		return
+	}
+	j.logged = true
+	e.cfg.Log.Append(e.snapshotLocked(j))
+}
+
+// snapshotLocked assembles a JobInfo; e.mu must be held. An individually
+// cancelled job reports cancelled (with no result) even when the shared
+// computation it had joined lives on for other jobs.
 func (e *Engine) snapshotLocked(j *job) JobInfo {
 	ent := j.entry
 	info := JobInfo{
@@ -521,15 +774,22 @@ func (e *Engine) snapshotLocked(j *job) JobInfo {
 	if ent.state == StateDone {
 		info.Result = ent.result
 	}
+	if j.cancelled {
+		info.State = StateCancelled
+		info.Error = ErrCancelled.Error()
+		info.Result = nil
+	}
 	return info
 }
 
 // normalizeOptions canonicalizes the fields that may not influence the
 // result: Workers and EvalWorkers are pure speed knobs (the internal/par
 // bit-identity contract), so they are zeroed out of the cache key and
-// replaced by the engine's own execution width.
+// replaced by the engine's own execution width, and Ctx is per-submission
+// plumbing that never belongs in a key or an entry.
 func normalizeOptions(o algo.Options) algo.Options {
 	o.Workers = 0
 	o.EvalWorkers = 0
+	o.Ctx = nil
 	return o
 }

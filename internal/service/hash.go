@@ -11,15 +11,31 @@ import (
 	"repro/internal/graph"
 )
 
-// cacheKey derives the content address of a request: the SHA-256 of the
-// graph's canonical encoding joined with the algorithm name and every
-// result-relevant option. Two requests with the same key are guaranteed the
-// same partition (the registry's determinism contract), which is what makes
-// returning a cached result sound — and bit-identical.
-func cacheKey(g *graph.Graph, algoName string, o algo.Options) string {
+// GraphHash returns the canonical content address of g — "sha256:" plus the
+// hex digest of the graph's full content (structure, node and edge weights,
+// coordinates). This is the address PUT /v1/graphs returns and batch jobs
+// reference; equal graphs hash equal regardless of wire encoding.
+func GraphHash(g *graph.Graph) string {
 	h := hashGraph(g)
+	return "sha256:" + hex.EncodeToString(h[:])
+}
+
+// cacheKey derives the content address of a request: the graph's content
+// hash joined with the algorithm name and every result-relevant option. Two
+// requests with the same key are guaranteed the same partition (the
+// registry's determinism contract), which is what makes returning a cached
+// result sound — and bit-identical.
+func cacheKey(g *graph.Graph, algoName string, o algo.Options) string {
+	return cacheKeyFromHash(GraphHash(g), algoName, o)
+}
+
+// cacheKeyFromHash is cacheKey for callers that already hold the graph's
+// content address (the stored-graph submission path): deriving the key costs
+// string formatting, never a rehash — this is what makes an N-spec batch
+// over one stored graph exactly one content hash, not N.
+func cacheKeyFromHash(graphHash, algoName string, o algo.Options) string {
 	return fmt.Sprintf("%s:%s:p%d.o%d.s%d.g%d.n%d.i%d.r%d.c%d.l%d",
-		hex.EncodeToString(h[:16]), algoName,
+		graphHash, algoName,
 		o.Parts, int(o.Objective), o.Seed,
 		o.Generations, o.PopSize, o.Islands,
 		o.RefinePasses, o.CoarsestSize, o.LanczosIter)

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/algo"
@@ -14,26 +16,63 @@ import (
 
 // HTTP JSON API over the Engine — the surface cmd/partd serves.
 //
-//	POST /v1/partition      submit a graph (METIS/edge-list/text payload)
-//	GET  /v1/jobs/{id}      job status and result (?wait=1 blocks)
-//	GET  /v1/algos          the registry with declared constraints
-//	GET  /v1/stats          engine and cache counters
+//	PUT    /v1/graphs         upload a graph once; returns its content address
+//	GET    /v1/graphs/{hash}  stored-graph metadata
+//	POST   /v1/jobs           batch-submit specs against a stored graph
+//	GET    /v1/jobs/{id}      job status and result (?wait=1 blocks)
+//	DELETE /v1/jobs/{id}      cancel a queued or running job
+//	POST   /v1/partition      legacy inline submit (graph payload in the body)
+//	GET    /v1/algos          the registry with declared constraints
+//	GET    /v1/stats          engine, store, and per-client quota counters
 //
-// Errors are structured: {"error": {"code": "...", "message": "..."}} with a
-// 4xx status for caller mistakes.
+// Every error — including the router's own 404/405 — is structured:
+// {"error": {"code": "...", "message": "..."}} with a 4xx status for caller
+// mistakes. Mutating requests pass per-client token-bucket admission when a
+// Quota is configured; refusals are 429 with code "quota_exceeded" and a
+// Retry-After header.
 
-// maxGraphPayload bounds a request body. A 10M-node mesh in METIS form is
-// ~100 MB of text; this default admits the scales the suites exercise while
-// keeping a single request from exhausting the daemon.
+// APIVersion names the wire protocol served by NewHandler; /v1/stats reports
+// it as "version" and /v1/algos as "api".
+const APIVersion = "v2"
+
+// maxGraphPayload bounds a graph-carrying request body. A 10M-node mesh in
+// METIS form is ~100 MB of text; this default admits the scales the suites
+// exercise while keeping a single request from exhausting the daemon.
 const maxGraphPayload = 256 << 20
 
-// PartitionRequest is the body of POST /v1/partition. Graph carries the
-// serialized graph inline; Format names its encoding ("metis" is the
-// default, "edgelist" and "text" the alternatives). Wait, when true, holds
-// the response until the job completes instead of returning 202
-// immediately. The optional algorithm knobs mirror algo.Options; speed
-// knobs (worker widths) are deliberately absent — they never change results
-// and the daemon sizes them itself.
+// maxControlPayload bounds bodies that carry no graph (batch submissions):
+// a full batch of specs is a few KB, so anything near this limit is abuse.
+const maxControlPayload = 1 << 20
+
+// maxBatchSpecs bounds one batch submission. The engine's queue bound is the
+// real backpressure; this merely keeps a single request from monopolizing it.
+const maxBatchSpecs = 1024
+
+// JobSpec is one algorithm request: POST /v1/jobs carries a list of them,
+// and the legacy POST /v1/partition embeds exactly one. Speed knobs (worker
+// widths) are deliberately absent — they never change results and the
+// daemon sizes them itself.
+type JobSpec struct {
+	Algo      string `json:"algo"`
+	Parts     int    `json:"parts"`
+	Seed      int64  `json:"seed"`
+	Objective string `json:"objective,omitempty"` // "cut" (default), "maxcut", or "commvol"; legacy "total"/"worst" accepted
+
+	Generations  int `json:"generations,omitempty"`
+	PopSize      int `json:"pop_size,omitempty"`
+	Islands      int `json:"islands,omitempty"`
+	RefinePasses int `json:"refine_passes,omitempty"`
+	CoarsestSize int `json:"coarsest_size,omitempty"`
+	LanczosIter  int `json:"lanczos_iter,omitempty"`
+}
+
+// PartitionRequest is the body of the legacy POST /v1/partition: one spec's
+// worth of fields plus an inline serialized graph. Format names the encoding
+// ("metis" is the default, "edgelist" and "text" the alternatives). Wait,
+// when true, holds the response until the job completes instead of returning
+// 202 immediately. Internally the daemon runs this through the same
+// store-then-submit path as the v2 endpoints, so repeated inline uploads of
+// the same graph deduplicate onto one stored copy.
 type PartitionRequest struct {
 	Algo      string `json:"algo"`
 	Parts     int    `json:"parts"`
@@ -51,6 +90,48 @@ type PartitionRequest struct {
 	Wait         bool `json:"wait,omitempty"`
 }
 
+// spec extracts the request's JobSpec — the legacy endpoint is exactly a
+// one-spec batch with an inline graph.
+func (r *PartitionRequest) spec() JobSpec {
+	return JobSpec{
+		Algo: r.Algo, Parts: r.Parts, Seed: r.Seed, Objective: r.Objective,
+		Generations: r.Generations, PopSize: r.PopSize, Islands: r.Islands,
+		RefinePasses: r.RefinePasses, CoarsestSize: r.CoarsestSize, LanczosIter: r.LanczosIter,
+	}
+}
+
+// GraphPutRequest is the body of PUT /v1/graphs.
+type GraphPutRequest struct {
+	Format string `json:"format,omitempty"`
+	Graph  string `json:"graph"`
+}
+
+// GraphPutResponse answers PUT /v1/graphs: the content address to use in
+// batch submissions, and whether the graph was already stored (200) or is
+// new (201).
+type GraphPutResponse struct {
+	Hash    string `json:"hash"`
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+	Existed bool   `json:"existed"`
+}
+
+// BatchRequest is the body of POST /v1/jobs: a stored-graph reference
+// ("sha256:..." from PUT /v1/graphs) and the specs to fan out against it.
+// The batch is atomic at validation: either every spec is accepted or the
+// whole request is refused with the first offending spec's error.
+type BatchRequest struct {
+	Graph string    `json:"graph"`
+	Specs []JobSpec `json:"specs"`
+	Wait  bool      `json:"wait,omitempty"`
+}
+
+// BatchResponse answers POST /v1/jobs with one JobInfo per spec, in order.
+type BatchResponse struct {
+	Graph string    `json:"graph"`
+	Jobs  []JobInfo `json:"jobs"`
+}
+
 // AlgoInfo is one registry entry as served by GET /v1/algos. Objectives
 // lists every objective the algorithm accepts, by flag name ("cut" always
 // included — it is supported universally).
@@ -63,8 +144,40 @@ type AlgoInfo struct {
 	Objectives      []string `json:"objectives"`
 }
 
+// AlgosResponse wraps GET /v1/algos with the API version.
+type AlgosResponse struct {
+	API   string     `json:"api"`
+	Algos []AlgoInfo `json:"algos"`
+}
+
+// StatsResponse is GET /v1/stats: the engine counters (embedded, so the
+// pre-v2 wire fields are unchanged) plus the API version, the graph store's
+// counters, and — when admission control is on — per-client quota counters.
+type StatsResponse struct {
+	Version string `json:"version"`
+	Stats
+	Store StoreStats  `json:"store"`
+	Quota *QuotaStats `json:"quota,omitempty"`
+}
+
+// HandlerOption configures NewHandler.
+type HandlerOption func(*httpServer)
+
+// WithStore serves the API over an externally owned graph store (so the
+// daemon can size it and read its counters directly). Without it NewHandler
+// creates a default-sized store of its own.
+func WithStore(st *GraphStore) HandlerOption {
+	return func(s *httpServer) { s.store = st }
+}
+
+// WithQuota enables per-client admission control. Without it (or with a nil
+// quota) everything is admitted, as before.
+func WithQuota(q *Quota) HandlerOption {
+	return func(s *httpServer) { s.quota = q }
+}
+
 // NewHandler builds the HTTP API over e.
-func NewHandler(e *Engine) http.Handler {
+func NewHandler(e *Engine, opts ...HandlerOption) http.Handler {
 	// Graph payloads are decoded and parsed before the engine's queue bound
 	// can refuse them, so concurrent parsing is its own memory hazard: N
 	// simultaneous near-limit uploads would materialize N bodies plus their
@@ -72,78 +185,307 @@ func NewHandler(e *Engine) http.Handler {
 	// the decode/parse stage; the rest wait on their connection, which
 	// costs kilobytes instead of gigabytes.
 	s := &httpServer{e: e, parseSem: make(chan struct{}, e.Workers()+2)}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.store == nil {
+		s.store = NewGraphStore(0)
+	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/partition", s.handlePartition)
+	mux.HandleFunc("PUT /v1/graphs", s.handleGraphPut)
+	mux.HandleFunc("GET /v1/graphs/{hash}", s.handleGraphGet)
+	mux.HandleFunc("POST /v1/jobs", s.handleBatch)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/partition", s.handlePartition)
 	mux.HandleFunc("GET /v1/algos", s.handleAlgos)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+	s.mux = mux
+	return http.HandlerFunc(s.serve)
 }
 
 type httpServer struct {
 	e        *Engine
+	store    *GraphStore
+	quota    *Quota
+	mux      *http.ServeMux
 	parseSem chan struct{}
 }
 
-func (s *httpServer) handlePartition(w http.ResponseWriter, r *http.Request) {
+// serve is the entry point: quota admission first, then routing, with the
+// router's own plain-text 404/405 rewritten into the JSON error envelope so
+// clients can rely on one error shape for the entire surface.
+func (s *httpServer) serve(w http.ResponseWriter, r *http.Request) {
+	client := clientID(r)
+	switch r.Method {
+	case http.MethodGet, http.MethodHead:
+		// Reads are not admission-controlled (a polling client must always
+		// be able to observe its jobs), only counted.
+		s.quota.Note(client)
+	default:
+		if ok, retryAfter := s.quota.Admit(client); !ok {
+			secs := int(retryAfter.Seconds())
+			if secs < 1 {
+				secs = 1
+			}
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
+			writeError(w, http.StatusTooManyRequests, "quota_exceeded",
+				fmt.Sprintf("client %q is over its request quota; retry in %ds", client, secs))
+			return
+		}
+	}
+	s.mux.ServeHTTP(&envelopeWriter{rw: w}, r)
+}
+
+// clientID identifies the caller for quota accounting: the X-Client header
+// when present (cooperating clients name themselves), the remote address
+// otherwise.
+func clientID(r *http.Request) string {
+	if c := r.Header.Get("X-Client"); c != "" {
+		return c
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// envelopeWriter rewrites the router's own plain-text 404 (no such route)
+// and 405 (wrong method) responses into the structured error envelope.
+// Handler-written errors pass through untouched: they set an application/json
+// Content-Type before WriteHeader, which is the discriminator.
+type envelopeWriter struct {
+	rw      http.ResponseWriter
+	swallow bool
+}
+
+func (w *envelopeWriter) Header() http.Header { return w.rw.Header() }
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.rw.Header().Get("Content-Type"), "application/json") {
+		w.swallow = true // drop the router's plain-text body that follows
+		code, msg := "not_found", "no such endpoint"
+		if status == http.StatusMethodNotAllowed {
+			code, msg = "method_not_allowed", "method not allowed for this endpoint"
+			if allow := w.rw.Header().Get("Allow"); allow != "" {
+				msg += " (allowed: " + allow + ")"
+			}
+		}
+		writeError(w.rw, status, code, msg)
+		return
+	}
+	w.rw.WriteHeader(status)
+}
+
+func (w *envelopeWriter) Write(p []byte) (int, error) {
+	if w.swallow {
+		return len(p), nil
+	}
+	return w.rw.Write(p)
+}
+
+// decodeGraphPayload decodes a graph-carrying body and parses it into the
+// store, holding a parse slot throughout. It returns the stored graph, or
+// writes the error response and returns nil.
+func (s *httpServer) parsePayload(w http.ResponseWriter, format, payload string) (*StoredGraph, bool) {
+	f, err := gio.FormatByName(format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_format",
+			fmt.Sprintf("unknown graph format %q (want metis, edgelist, or text)", format))
+		return nil, false
+	}
+	if f == gio.FormatAuto {
+		f = gio.FormatMETIS
+	}
+	if payload == "" {
+		writeError(w, http.StatusBadRequest, "bad_graph", "request carries no graph payload")
+		return nil, false
+	}
+	sg, existed, err := s.store.ParseAndPut(f, strings.NewReader(payload))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_graph", err.Error())
+		return nil, false
+	}
+	return sg, existed
+}
+
+// acquireParseSlot blocks until a decode/parse slot is free; it returns a
+// release func, or writes the error and returns nil if the client gave up.
+func (s *httpServer) acquireParseSlot(w http.ResponseWriter, r *http.Request) func() {
 	select {
 	case s.parseSem <- struct{}{}:
 	case <-r.Context().Done():
 		writeError(w, http.StatusServiceUnavailable, "unavailable", "request cancelled while waiting for a parse slot")
-		return
+		return nil
 	}
-	// The slot covers only the decode/parse stage; it is released as soon
-	// as the request is handed to the engine, so wait-mode requests do not
-	// pin slots while blocked on their job.
 	released := false
-	releaseSlot := func() {
+	return func() {
 		if !released {
 			released = true
 			<-s.parseSem
 		}
 	}
-	defer releaseSlot()
-	r.Body = http.MaxBytesReader(w, r.Body, maxGraphPayload)
-	var req PartitionRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	r.Body = http.MaxBytesReader(w, r.Body, limit)
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge, "payload_too_large",
 				fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
-			return
+			return false
 		}
 		writeError(w, http.StatusBadRequest, "bad_json", "malformed request body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// handleGraphPut is PUT /v1/graphs: parse once, store by content address.
+func (s *httpServer) handleGraphPut(w http.ResponseWriter, r *http.Request) {
+	release := s.acquireParseSlot(w, r)
+	if release == nil {
 		return
 	}
-	format, err := gio.FormatByName(req.Format)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_format",
-			fmt.Sprintf("unknown graph format %q (want metis, edgelist, or text)", req.Format))
+	defer release()
+	var req GraphPutRequest
+	if !decodeBody(w, r, maxGraphPayload, &req) {
 		return
 	}
-	if format == gio.FormatAuto {
-		format = gio.FormatMETIS
-	}
-	if req.Graph == "" {
-		writeError(w, http.StatusBadRequest, "bad_graph", "request carries no graph payload")
+	sg, ok := s.parsePayload(w, req.Format, req.Graph)
+	if sg == nil {
 		return
 	}
-	g, err := gio.ReadGraph(format, strings.NewReader(req.Graph))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "bad_graph", err.Error())
+	status := http.StatusCreated
+	if ok {
+		status = http.StatusOK // deduplicated onto an existing upload
+	}
+	writeJSON(w, status, GraphPutResponse{Hash: sg.Hash, Nodes: sg.Nodes, Edges: sg.Edges, Existed: ok})
+}
+
+// handleGraphGet is GET /v1/graphs/{hash}: stored-graph metadata.
+func (s *httpServer) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if re := validateGraphRef(hash); re != nil {
+		writeError(w, http.StatusBadRequest, re.Code, re.Message)
 		return
 	}
-	opts, rerr := optionsFromRequest(&req)
+	sg, ok := s.store.Get(hash)
+	if !ok {
+		writeError(w, http.StatusNotFound, "graph_not_found",
+			fmt.Sprintf("no stored graph %s (evicted or never uploaded; PUT /v1/graphs to (re)store it)", hash))
+		return
+	}
+	writeJSON(w, http.StatusOK, sg)
+}
+
+// handleBatch is POST /v1/jobs: fan a batch of specs out against one stored
+// graph. Validation is atomic — any bad spec refuses the whole batch before
+// a single job exists. The stored content address keys the result cache
+// directly, so an N-spec batch costs zero parses and zero hashes here.
+func (s *httpServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeBody(w, r, maxControlPayload, &req) {
+		return
+	}
+	if re := validateGraphRef(req.Graph); re != nil {
+		writeError(w, http.StatusBadRequest, re.Code, re.Message)
+		return
+	}
+	sg, ok := s.store.Get(req.Graph)
+	if !ok {
+		writeError(w, http.StatusNotFound, "graph_not_found",
+			fmt.Sprintf("no stored graph %s (evicted or never uploaded; PUT /v1/graphs to (re)store it)", req.Graph))
+		return
+	}
+	if len(req.Specs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty_batch", "batch carries no specs")
+		return
+	}
+	if len(req.Specs) > maxBatchSpecs {
+		writeError(w, http.StatusBadRequest, "too_many_specs",
+			fmt.Sprintf("batch of %d specs exceeds the per-request maximum %d", len(req.Specs), maxBatchSpecs))
+		return
+	}
+	allOpts := make([]algo.Options, len(req.Specs))
+	for i := range req.Specs {
+		opts, rerr := optionsFromSpec(&req.Specs[i])
+		if rerr == nil {
+			var re *RequestError
+			if err := s.e.Validate(sg.Graph, req.Specs[i].Algo, opts); errors.As(err, &re) {
+				rerr = re
+			}
+		}
+		if rerr != nil {
+			writeError(w, http.StatusBadRequest, rerr.Code,
+				fmt.Sprintf("spec[%d]: %s", i, rerr.Message))
+			return
+		}
+		allOpts[i] = opts
+	}
+	jobs := make([]JobInfo, 0, len(req.Specs))
+	for i := range req.Specs {
+		info, err := s.e.SubmitStored(sg, req.Specs[i].Algo, allOpts[i])
+		if err != nil {
+			// Mid-batch refusal (queue filled up under us): cancel what this
+			// request already submitted so the batch stays all-or-nothing.
+			for _, j := range jobs {
+				s.e.CancelJob(j.ID)
+			}
+			writeSubmitError(w, err)
+			return
+		}
+		jobs = append(jobs, info)
+	}
+	if req.Wait || r.URL.Query().Get("wait") == "1" {
+		for i := range jobs {
+			final, err := s.e.WaitJob(r.Context(), jobs[i].ID)
+			if err != nil {
+				writeError(w, http.StatusServiceUnavailable, "wait_interrupted", err.Error())
+				return
+			}
+			jobs[i] = final
+		}
+		writeJSON(w, http.StatusOK, BatchResponse{Graph: sg.Hash, Jobs: jobs})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, BatchResponse{Graph: sg.Hash, Jobs: jobs})
+}
+
+// handlePartition is the legacy one-shot endpoint, reimplemented as a thin
+// shim over the same store-then-submit path the v2 endpoints use: parse and
+// store the inline payload (deduplicating with prior uploads), then submit
+// by content address. One code path, no behavioral drift between APIs.
+func (s *httpServer) handlePartition(w http.ResponseWriter, r *http.Request) {
+	release := s.acquireParseSlot(w, r)
+	if release == nil {
+		return
+	}
+	defer release()
+	var req PartitionRequest
+	if !decodeBody(w, r, maxGraphPayload, &req) {
+		return
+	}
+	sg, _ := s.parsePayload(w, req.Format, req.Graph)
+	if sg == nil {
+		return
+	}
+	spec := req.spec()
+	opts, rerr := optionsFromSpec(&spec)
 	if rerr != nil {
 		writeError(w, http.StatusBadRequest, rerr.Code, rerr.Message)
 		return
 	}
-	req.Graph = "" // drop the body copy; g owns the parsed arrays now
-	releaseSlot()
+	req.Graph = "" // drop the body copy; the store owns the parsed arrays now
+	// The slot covers only the decode/parse stage; release before any wait
+	// so wait-mode requests do not pin slots while blocked on their job.
+	release()
 	if req.Wait || r.URL.Query().Get("wait") == "1" {
 		// SubmitWait holds the job across the wait — unlike submit-then-poll
 		// it cannot lose the result to history eviction under load.
-		final, err := s.e.SubmitWait(r.Context(), g, req.Algo, opts)
+		final, err := s.e.SubmitStoredWait(r.Context(), sg, req.Algo, opts)
 		if err != nil {
 			writeSubmitError(w, err)
 			return
@@ -151,13 +493,13 @@ func (s *httpServer) handlePartition(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, final)
 		return
 	}
-	info, err := s.e.Submit(g, req.Algo, opts)
+	info, err := s.e.SubmitStored(sg, req.Algo, opts)
 	if err != nil {
 		writeSubmitError(w, err)
 		return
 	}
 	status := http.StatusAccepted
-	if info.State == StateDone || info.State == StateFailed {
+	if info.State.terminal() {
 		status = http.StatusOK
 	}
 	writeJSON(w, status, info)
@@ -165,7 +507,8 @@ func (s *httpServer) handlePartition(w http.ResponseWriter, r *http.Request) {
 
 // writeSubmitError maps a Submit/SubmitWait failure to its HTTP shape:
 // caller mistakes are 400 with their stable code, a full queue is 429
-// (back off and retry), anything else 503.
+// (back off and retry), a closed engine is 503 with the typed engine_closed
+// code, anything else a generic 503.
 func writeSubmitError(w http.ResponseWriter, err error) {
 	var re *RequestError
 	switch {
@@ -173,6 +516,8 @@ func writeSubmitError(w http.ResponseWriter, err error) {
 		writeError(w, http.StatusBadRequest, re.Code, re.Message)
 	case errors.Is(err, ErrOverloaded):
 		writeError(w, http.StatusTooManyRequests, "overloaded", err.Error())
+	case errors.Is(err, ErrEngineClosed):
+		writeError(w, http.StatusServiceUnavailable, "engine_closed", err.Error())
 	default:
 		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
 	}
@@ -200,6 +545,24 @@ func (s *httpServer) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, info)
 }
 
+// handleCancel is DELETE /v1/jobs/{id}. Cancelling an already-cancelled job
+// is idempotent (200); a finished job is 409 job_finished — too late, the
+// result exists.
+func (s *httpServer) handleCancel(w http.ResponseWriter, r *http.Request) {
+	info, err := s.e.CancelJob(r.PathValue("id"))
+	var re *RequestError
+	switch {
+	case errors.Is(err, ErrNoJob):
+		writeError(w, http.StatusNotFound, "not_found", err.Error())
+	case errors.As(err, &re):
+		writeError(w, http.StatusConflict, re.Code, re.Message)
+	case err != nil:
+		writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error())
+	default:
+		writeJSON(w, http.StatusOK, info)
+	}
+}
+
 func (s *httpServer) handleAlgos(w http.ResponseWriter, _ *http.Request) {
 	names := algo.Names()
 	out := make([]AlgoInfo, 0, len(names))
@@ -224,28 +587,33 @@ func (s *httpServer) handleAlgos(w http.ResponseWriter, _ *http.Request) {
 			Objectives:      objectives,
 		})
 	}
-	writeJSON(w, http.StatusOK, out)
+	writeJSON(w, http.StatusOK, AlgosResponse{API: APIVersion, Algos: out})
 }
 
 func (s *httpServer) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.e.Stats())
+	writeJSON(w, http.StatusOK, StatsResponse{
+		Version: APIVersion,
+		Stats:   s.e.Stats(),
+		Store:   s.store.Stats(),
+		Quota:   s.quota.Stats(),
+	})
 }
 
-// optionsFromRequest maps the wire request onto algo.Options.
-func optionsFromRequest(req *PartitionRequest) (algo.Options, *RequestError) {
+// optionsFromSpec maps a wire spec onto algo.Options.
+func optionsFromSpec(spec *JobSpec) (algo.Options, *RequestError) {
 	opts := algo.Options{
-		Parts:        req.Parts,
-		Seed:         req.Seed,
-		Generations:  req.Generations,
-		PopSize:      req.PopSize,
-		Islands:      req.Islands,
-		RefinePasses: req.RefinePasses,
-		CoarsestSize: req.CoarsestSize,
-		LanczosIter:  req.LanczosIter,
+		Parts:        spec.Parts,
+		Seed:         spec.Seed,
+		Generations:  spec.Generations,
+		PopSize:      spec.PopSize,
+		Islands:      spec.Islands,
+		RefinePasses: spec.RefinePasses,
+		CoarsestSize: spec.CoarsestSize,
+		LanczosIter:  spec.LanczosIter,
 	}
-	o, err := partition.ParseObjective(req.Objective)
+	o, err := partition.ParseObjective(spec.Objective)
 	if err != nil {
-		return opts, reqErr("bad_objective", "unknown objective %q (want cut, maxcut, or commvol)", req.Objective)
+		return opts, reqErr("bad_objective", "unknown objective %q (want cut, maxcut, or commvol)", spec.Objective)
 	}
 	opts.Objective = o
 	return opts, nil

@@ -239,12 +239,15 @@ func TestHTTPAlgosReflectsRegistry(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var algos []service.AlgoInfo
-	if err := json.NewDecoder(resp.Body).Decode(&algos); err != nil {
+	var body service.AlgosResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 		t.Fatal(err)
 	}
+	if body.API != service.APIVersion {
+		t.Fatalf("api = %q, want %q", body.API, service.APIVersion)
+	}
 	byName := map[string]service.AlgoInfo{}
-	for _, a := range algos {
+	for _, a := range body.Algos {
 		byName[a.Name] = a
 	}
 	if len(byName) < 15 {
@@ -274,15 +277,26 @@ func TestHTTPStats(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var s service.Stats
+	var s service.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
 		t.Fatal(err)
+	}
+	if s.Version != service.APIVersion {
+		t.Errorf("version %q, want %q", s.Version, service.APIVersion)
 	}
 	if s.Workers != 3 || s.CacheCapacityBytes != 5<<10 {
 		t.Errorf("config not reflected: %+v", s)
 	}
 	if s.JobsSubmitted != 2 || s.CacheMisses != 1 || s.CacheHits != 1 || s.JobsDone != 1 {
 		t.Errorf("counters: %+v", s)
+	}
+	// Legacy submissions route through the store: two identical inline
+	// uploads are one stored graph, two parses, one dedup.
+	if s.Store.Parses != 2 || s.Store.Graphs != 1 || s.Store.Dedups != 1 {
+		t.Errorf("store counters: %+v", s.Store)
+	}
+	if s.Quota != nil {
+		t.Errorf("quota block present without admission control: %+v", s.Quota)
 	}
 }
 

@@ -99,8 +99,8 @@ func TestHTTPObjectiveSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var algos []service.AlgoInfo
-	if err := json.Unmarshal(body, &algos); err != nil {
+	var listing service.AlgosResponse
+	if err := json.Unmarshal(body, &listing); err != nil {
 		t.Fatalf("bad /v1/algos JSON: %v\n%s", err, body)
 	}
 	want := map[string][]string{
@@ -108,7 +108,7 @@ func TestHTTPObjectiveSurface(t *testing.T) {
 		"fm":   {"cut", "maxcut"},
 		"grow": {"cut"},
 	}
-	for _, ai := range algos {
+	for _, ai := range listing.Algos {
 		exp, ok := want[ai.Name]
 		if !ok {
 			continue

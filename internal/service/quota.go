@@ -1,0 +1,148 @@
+package service
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Quota is the per-client admission layer: a token bucket per client
+// identity (the X-Client header when the caller sends one, the remote
+// address otherwise), refilled continuously at RatePerSec up to Burst.
+// Mutating requests (upload, submit, cancel) consume one token; when a
+// client's bucket is empty the request is refused with a structured 429 and
+// a Retry-After hint instead of being queued — admission control is what
+// keeps one chatty client from starving the rest of the worker pool, which
+// the engine's global MaxQueue backpressure alone cannot do.
+//
+// A nil *Quota admits everything and records nothing, so the daemon without
+// -rate runs exactly as before.
+type Quota struct {
+	mu         sync.Mutex
+	rate       float64 // tokens per second
+	burst      float64 // bucket capacity
+	maxClients int
+	now        func() time.Time // injectable for tests
+	clients    map[string]*clientBucket
+}
+
+type clientBucket struct {
+	tokens   float64
+	last     time.Time // last refill
+	requests uint64
+	throttle uint64
+}
+
+// ClientStats is one client's request accounting as served by /v1/stats.
+type ClientStats struct {
+	Requests  uint64 `json:"requests"`
+	Throttled uint64 `json:"throttled"`
+}
+
+// QuotaStats is the admission layer's /v1/stats block.
+type QuotaStats struct {
+	RatePerSec float64                `json:"rate_per_sec"`
+	Burst      float64                `json:"burst"`
+	Clients    map[string]ClientStats `json:"clients"`
+}
+
+// maxQuotaClients bounds the per-client map: a daemon facing address-churning
+// traffic must not grow client state without limit, so past the bound the
+// stalest bucket is evicted (its client restarts with a full bucket — the
+// failure mode is generosity, not denial).
+const maxQuotaClients = 10000
+
+// NewQuota builds an admission layer granting ratePerSec sustained requests
+// per client with bursts up to burst (burst < 1 is raised to max(rate, 1) so
+// a configured quota always admits something).
+func NewQuota(ratePerSec, burst float64) *Quota {
+	if burst < 1 {
+		burst = math.Max(ratePerSec, 1)
+	}
+	return &Quota{
+		rate:       ratePerSec,
+		burst:      burst,
+		maxClients: maxQuotaClients,
+		now:        time.Now,
+		clients:    make(map[string]*clientBucket),
+	}
+}
+
+func (q *Quota) bucketLocked(client string) *clientBucket {
+	b, ok := q.clients[client]
+	if !ok {
+		if len(q.clients) >= q.maxClients {
+			var staleKey string
+			var stale time.Time
+			for k, c := range q.clients {
+				if staleKey == "" || c.last.Before(stale) {
+					staleKey, stale = k, c.last
+				}
+			}
+			delete(q.clients, staleKey)
+		}
+		b = &clientBucket{tokens: q.burst, last: q.now()}
+		q.clients[client] = b
+	}
+	return b
+}
+
+func (b *clientBucket) refill(now time.Time, rate, burst float64) {
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens = math.Min(burst, b.tokens+elapsed*rate)
+		b.last = now
+	}
+}
+
+// Admit consumes one token from client's bucket. When the bucket is empty it
+// refuses and returns how long until a token will be available — the
+// Retry-After the HTTP layer sends with the 429.
+func (q *Quota) Admit(client string) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.bucketLocked(client)
+	b.refill(q.now(), q.rate, q.burst)
+	b.requests++
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	b.throttle++
+	if q.rate <= 0 {
+		return false, time.Hour // a zero-rate quota never refills
+	}
+	return false, time.Duration(math.Ceil((1-b.tokens)/q.rate)) * time.Second
+}
+
+// Note records a request that is not admission-controlled (the cheap read
+// endpoints), so per-client request counts cover the whole API surface.
+func (q *Quota) Note(client string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.bucketLocked(client).requests++
+}
+
+// Stats snapshots the admission configuration and every known client's
+// counters.
+func (q *Quota) Stats() *QuotaStats {
+	if q == nil {
+		return nil
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := &QuotaStats{
+		RatePerSec: q.rate,
+		Burst:      q.burst,
+		Clients:    make(map[string]ClientStats, len(q.clients)),
+	}
+	for k, b := range q.clients {
+		out.Clients[k] = ClientStats{Requests: b.requests, Throttled: b.throttle}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// White-box: the clock is injected so refill behavior is exact.
+func TestQuotaTokenBucket(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := NewQuota(1, 2) // 1 token/s, burst 2
+	q.now = func() time.Time { return now }
+
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.Admit("a"); !ok {
+			t.Fatalf("admit %d refused within burst", i)
+		}
+	}
+	ok, retry := q.Admit("a")
+	if ok {
+		t.Fatal("third immediate request admitted past burst 2")
+	}
+	if retry < time.Second || retry > 2*time.Second {
+		t.Fatalf("retryAfter %v, want ~1s", retry)
+	}
+
+	// 1.5s later one token has refilled: one admit, then refusal again.
+	now = now.Add(1500 * time.Millisecond)
+	if ok, _ := q.Admit("a"); !ok {
+		t.Fatal("refilled token refused")
+	}
+	if ok, _ := q.Admit("a"); ok {
+		t.Fatal("admitted with an empty bucket")
+	}
+
+	// Distinct clients have independent buckets.
+	if ok, _ := q.Admit("b"); !ok {
+		t.Fatal("fresh client refused")
+	}
+	q.Note("b")
+
+	s := q.Stats()
+	if s.RatePerSec != 1 || s.Burst != 2 {
+		t.Errorf("config not reflected: %+v", s)
+	}
+	a, b := s.Clients["a"], s.Clients["b"]
+	if a.Requests != 5 || a.Throttled != 2 {
+		t.Errorf("client a: %+v, want 5 requests 2 throttled", a)
+	}
+	if b.Requests != 2 || b.Throttled != 0 {
+		t.Errorf("client b: %+v, want 2 requests 0 throttled", b)
+	}
+}
+
+// A nil quota admits everything — the daemon without -rate is unchanged.
+func TestQuotaNilAdmitsEverything(t *testing.T) {
+	var q *Quota
+	if ok, _ := q.Admit("anyone"); !ok {
+		t.Fatal("nil quota refused")
+	}
+	q.Note("anyone")
+	if q.Stats() != nil {
+		t.Fatal("nil quota reported stats")
+	}
+}
+
+// The per-client map is bounded: past the cap the stalest bucket is evicted.
+func TestQuotaClientMapBounded(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := NewQuota(1, 1)
+	q.now = func() time.Time { return now }
+	q.maxClients = 2
+
+	q.Admit("old")
+	now = now.Add(time.Second)
+	q.Admit("mid")
+	now = now.Add(time.Second)
+	q.Admit("new") // evicts "old", the stalest
+	if len(q.clients) != 2 {
+		t.Fatalf("%d clients retained, want 2", len(q.clients))
+	}
+	if _, ok := q.clients["old"]; ok {
+		t.Error("stalest client survived eviction")
+	}
+}
+
+// Zero-rate quotas never refill: the retry hint must not claim otherwise.
+func TestQuotaZeroRateNeverRefills(t *testing.T) {
+	q := NewQuota(0, 1)
+	if ok, _ := q.Admit("a"); !ok {
+		t.Fatal("burst token refused")
+	}
+	ok, retry := q.Admit("a")
+	if ok || retry < time.Hour {
+		t.Fatalf("zero-rate bucket: admitted=%v retry=%v", ok, retry)
+	}
+}

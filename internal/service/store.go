@@ -1,0 +1,188 @@
+package service
+
+import (
+	"container/list"
+	"io"
+	"sync"
+
+	"repro/internal/gio"
+	"repro/internal/graph"
+)
+
+// GraphStore is the daemon's content-addressed graph store: the data plane
+// of the v2 API. Clients PUT a serialized graph once, the store parses it
+// into CSR and addresses it by the SHA-256 of its canonical content
+// ("sha256:<hex>"), and every subsequent job references the stored CSR by
+// hash — no re-upload, no re-parse, no re-hash. Identical graphs (byte-wise
+// different encodings included: the hash covers the parsed content, not the
+// wire text) deduplicate onto one stored copy.
+//
+// The store is bounded by the approximate CSR bytes it retains, with LRU
+// eviction — a Get or a dedup refreshes recency. Eviction never invalidates
+// running jobs (they hold the *graph.Graph), only future by-hash lookups,
+// which fail with a structured graph_not_found so the client re-uploads.
+//
+// The Parses/Hashes counters exist so tests (and operators) can assert the
+// upload-once contract: one PUT followed by an N-spec batch is exactly one
+// parse and one content hash, not N.
+type GraphStore struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	order    *list.List // front = most recently used; values are *StoredGraph
+	items    map[string]*list.Element
+
+	puts, dedups, parses, hashes, gets, misses, evictions uint64
+}
+
+// StoredGraph is one stored, parsed graph and its content address.
+type StoredGraph struct {
+	Hash  string `json:"hash"`
+	Nodes int    `json:"nodes"`
+	Edges int    `json:"edges"`
+
+	Graph *graph.Graph `json:"-"`
+	bytes int64
+}
+
+// StoreStats are the store's instrumentation counters.
+type StoreStats struct {
+	Graphs        int    `json:"graphs"`
+	Bytes         int64  `json:"bytes"`
+	CapacityBytes int64  `json:"capacity_bytes"`
+	Puts          uint64 `json:"puts"`   // graphs offered (ParseAndPut/Put calls)
+	Dedups        uint64 `json:"dedups"` // offered graphs already present
+	Parses        uint64 `json:"parses"` // wire payloads parsed into CSR
+	Hashes        uint64 `json:"hashes"` // content hashes computed
+	Gets          uint64 `json:"gets"`   // by-hash lookups served
+	Misses        uint64 `json:"misses"` // by-hash lookups that failed (unknown or evicted)
+	Evictions     uint64 `json:"evictions"`
+}
+
+// NewGraphStore builds a store bounded by maxBytes of approximate CSR
+// payload (<= 0 selects 256 MiB).
+func NewGraphStore(maxBytes int64) *GraphStore {
+	if maxBytes <= 0 {
+		maxBytes = 256 << 20
+	}
+	return &GraphStore{
+		maxBytes: maxBytes,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// graphBytes approximates a graph's resident CSR footprint: offsets,
+// adjacency and edge weights (both directions of every undirected edge),
+// node weights, and the optional embedding.
+func graphBytes(g *graph.Graph) int64 {
+	n, m := int64(g.NumNodes()), int64(g.NumEdges())
+	b := 4*(n+1) + 2*m*(4+8) + 8*n
+	if g.HasCoords() {
+		b += 16 * n
+	}
+	return b
+}
+
+// ParseAndPut parses one wire payload into CSR (counted: this is the parse
+// the upload-once contract says happens exactly once per distinct graph
+// upload) and stores it. It reports whether the graph was already present.
+func (s *GraphStore) ParseAndPut(f gio.Format, r io.Reader) (*StoredGraph, bool, error) {
+	s.mu.Lock()
+	s.parses++
+	s.mu.Unlock()
+	g, err := gio.ReadGraph(f, r)
+	if err != nil {
+		return nil, false, err
+	}
+	sg, existed := s.Put(g)
+	return sg, existed, nil
+}
+
+// Put stores an already-parsed graph under its content address, deduplicating
+// by hash: offering a graph that is already stored refreshes its recency and
+// returns the existing copy (existed = true), discarding g.
+func (s *GraphStore) Put(g *graph.Graph) (*StoredGraph, bool) {
+	s.mu.Lock()
+	s.hashes++
+	s.mu.Unlock()
+	hash := GraphHash(g) // outside the lock: hashing is O(V+E)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.puts++
+	if el, ok := s.items[hash]; ok {
+		s.dedups++
+		s.order.MoveToFront(el)
+		return el.Value.(*StoredGraph), true
+	}
+	sg := &StoredGraph{
+		Hash:  hash,
+		Nodes: g.NumNodes(),
+		Edges: g.NumEdges(),
+		Graph: g,
+		bytes: graphBytes(g),
+	}
+	s.items[hash] = s.order.PushFront(sg)
+	s.bytes += sg.bytes
+	// Evict from the LRU end until the budget holds, but never the graph
+	// just stored: an oversized graph is retained alone (and evicted by the
+	// next Put) instead of being unstorable.
+	for s.bytes > s.maxBytes && s.order.Len() > 1 {
+		oldest := s.order.Back()
+		old := oldest.Value.(*StoredGraph)
+		s.order.Remove(oldest)
+		delete(s.items, old.Hash)
+		s.bytes -= old.bytes
+		s.evictions++
+	}
+	return sg, false
+}
+
+// Get returns the stored graph addressed by hash, refreshing its recency.
+func (s *GraphStore) Get(hash string) (*StoredGraph, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.items[hash]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.gets++
+	s.order.MoveToFront(el)
+	return el.Value.(*StoredGraph), true
+}
+
+// Stats returns the current counters.
+func (s *GraphStore) Stats() StoreStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoreStats{
+		Graphs:        s.order.Len(),
+		Bytes:         s.bytes,
+		CapacityBytes: s.maxBytes,
+		Puts:          s.puts,
+		Dedups:        s.dedups,
+		Parses:        s.parses,
+		Hashes:        s.hashes,
+		Gets:          s.gets,
+		Misses:        s.misses,
+		Evictions:     s.evictions,
+	}
+}
+
+// validateGraphRef checks the wire shape of a graph reference ("sha256:"
+// plus 64 hex digits) before any store lookup, so typos fail with a clear
+// bad_graph_ref rather than a misleading not-found.
+func validateGraphRef(ref string) *RequestError {
+	const prefix = "sha256:"
+	if len(ref) != len(prefix)+64 || ref[:len(prefix)] != prefix {
+		return reqErr("bad_graph_ref", "graph reference %q is not of the form sha256:<64 hex digits> (as returned by PUT /v1/graphs)", ref)
+	}
+	for _, c := range ref[len(prefix):] {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return reqErr("bad_graph_ref", "graph reference %q is not of the form sha256:<64 hex digits> (as returned by PUT /v1/graphs)", ref)
+		}
+	}
+	return nil
+}

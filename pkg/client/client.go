@@ -1,0 +1,213 @@
+// Package client is the typed Go client for the partd v2 API: upload a
+// graph once, fan batches of job specs out against its content address,
+// wait, cancel, and read stats — with the daemon's structured errors
+// surfaced as typed *APIError values instead of raw status codes.
+//
+// The zero-dependency wire types are shared with the server
+// (internal/service), so a client and daemon built from the same tree can
+// never disagree about the schema.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// APIError is a structured error response from the daemon: the HTTP status,
+// the stable machine-readable code ("bad_parts", "quota_exceeded",
+// "engine_closed", ...), and the human-readable message. RetryAfter is
+// nonzero for quota refusals that carried a Retry-After header.
+type APIError struct {
+	Status     int
+	Code       string
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("partd: %s (%d %s)", e.Message, e.Status, e.Code)
+}
+
+// IsRetryable reports whether backing off and retrying the same request can
+// succeed: quota and queue refusals are retryable, caller mistakes are not.
+func (e *APIError) IsRetryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Code == "unavailable"
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// WithName sets the X-Client identity sent with every request — the key the
+// daemon's per-client quota accounting uses. Unnamed clients are keyed by
+// remote address.
+func WithName(name string) Option {
+	return func(c *Client) { c.name = name }
+}
+
+// Client talks to one partd daemon. It is safe for concurrent use.
+type Client struct {
+	base string
+	name string
+	hc   *http.Client
+}
+
+// New builds a client for the daemon at baseURL (e.g. "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		hc:   &http.Client{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do runs one JSON round trip. A 2xx body decodes into out (when non-nil);
+// anything else decodes the error envelope into an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.name != "" {
+		req.Header.Set("X-Client", c.name)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		apiErr := &APIError{Status: resp.StatusCode, Code: "unknown"}
+		var envelope struct {
+			Error struct {
+				Code    string `json:"code"`
+				Message string `json:"message"`
+			} `json:"error"`
+		}
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		if json.Unmarshal(data, &envelope) == nil && envelope.Error.Code != "" {
+			apiErr.Code = envelope.Error.Code
+			apiErr.Message = envelope.Error.Message
+		} else {
+			apiErr.Message = strings.TrimSpace(string(data))
+		}
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+		return apiErr
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// UploadGraph uploads one serialized graph (format "metis", "edgelist", or
+// "text"; empty selects metis) and returns its content address. Uploading a
+// graph the daemon already stores is cheap: it deduplicates server-side and
+// returns the existing address with Existed set.
+func (c *Client) UploadGraph(ctx context.Context, format, payload string) (service.GraphPutResponse, error) {
+	var out service.GraphPutResponse
+	err := c.do(ctx, http.MethodPut, "/v1/graphs", service.GraphPutRequest{Format: format, Graph: payload}, &out)
+	return out, err
+}
+
+// Graph returns stored-graph metadata for a content address.
+func (c *Client) Graph(ctx context.Context, hash string) (service.StoredGraph, error) {
+	var out service.StoredGraph
+	err := c.do(ctx, http.MethodGet, "/v1/graphs/"+hash, nil, &out)
+	return out, err
+}
+
+// SubmitBatch fans specs out against a stored graph and returns immediately
+// with one queued/cached JobInfo per spec.
+func (c *Client) SubmitBatch(ctx context.Context, graphHash string, specs []service.JobSpec) (service.BatchResponse, error) {
+	var out service.BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", service.BatchRequest{Graph: graphHash, Specs: specs}, &out)
+	return out, err
+}
+
+// SubmitBatchWait is SubmitBatch but holds the request until every job in
+// the batch reaches a terminal state.
+func (c *Client) SubmitBatchWait(ctx context.Context, graphHash string, specs []service.JobSpec) (service.BatchResponse, error) {
+	var out service.BatchResponse
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", service.BatchRequest{Graph: graphHash, Specs: specs, Wait: true}, &out)
+	return out, err
+}
+
+// Partition is the legacy one-shot endpoint: inline graph, one spec.
+func (c *Client) Partition(ctx context.Context, req service.PartitionRequest) (service.JobInfo, error) {
+	var out service.JobInfo
+	err := c.do(ctx, http.MethodPost, "/v1/partition", req, &out)
+	return out, err
+}
+
+// Job polls one job.
+func (c *Client) Job(ctx context.Context, id string) (service.JobInfo, error) {
+	var out service.JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// WaitJob blocks server-side until the job reaches a terminal state (done,
+// failed, or cancelled) or ctx is cancelled.
+func (c *Client) WaitJob(ctx context.Context, id string) (service.JobInfo, error) {
+	var out service.JobInfo
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"?wait=1", nil, &out)
+	return out, err
+}
+
+// Cancel cancels one job and returns its post-cancel snapshot. Cancelling
+// an already-cancelled job succeeds idempotently; a finished job fails with
+// an *APIError coded "job_finished".
+func (c *Client) Cancel(ctx context.Context, id string) (service.JobInfo, error) {
+	var out service.JobInfo
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &out)
+	return out, err
+}
+
+// Stats reads the daemon's engine, store, and quota counters.
+func (c *Client) Stats(ctx context.Context) (service.StatsResponse, error) {
+	var out service.StatsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out)
+	return out, err
+}
+
+// Algos lists the algorithm registry with declared constraints.
+func (c *Client) Algos(ctx context.Context) (service.AlgosResponse, error) {
+	var out service.AlgosResponse
+	err := c.do(ctx, http.MethodGet, "/v1/algos", nil, &out)
+	return out, err
+}
