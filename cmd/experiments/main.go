@@ -29,6 +29,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -53,11 +55,12 @@ func main() {
 		workers = flag.Int("evalworkers", 0, "parallel fitness-evaluation goroutines per engine (0 = auto; results are identical for any value)")
 
 		doBench   = flag.Bool("bench", false, "run the machine-readable benchmark suite instead of tables/figures")
-		suite     = flag.String("suite", "small", "benchmark suite: small | scale | scale100k | diverse | weighted")
+		suite     = flag.String("suite", "small", "benchmark suite: small | scale | scale100k | scale1M | scale10M | diverse | weighted")
 		inPath    = flag.String("in", "", "benchmark a graph file instead of a generated suite (format from extension, or -informat)")
 		inFormat  = flag.String("informat", "auto", "input graph format for -in: auto | metis | edgelist | text")
 		parts     = flag.Int("parts", 8, "part count for -in")
 		algos     = flag.String("algos", "", "comma-separated registry names to benchmark (default: the deterministic set)")
+		casesCSV  = flag.String("cases", "", "comma-separated case names to keep from the suite (default: all; the scale1M CI smoke runs only the RGG case this way)")
 		jsonPath  = flag.String("json", "", "write the benchmark report as JSON to this file")
 		baseline  = flag.String("baseline", "", "compare cuts against this baseline report; exit 1 on regression")
 		tol       = flag.Float64("tol", 0.10, "allowed relative cut increase vs the baseline")
@@ -66,6 +69,8 @@ func main() {
 		objective = flag.String("objective", "cut", "comma-separated objectives to benchmark: cut | maxcut | commvol (algorithms lacking one produce error rows)")
 		mlWorkers = flag.Int("workers", 0, "parallel V-cycle goroutines: coarsening, contraction, projection, and colored refinement (0 = auto; results are identical for any value)")
 		lanczos   = flag.Int("lanczos", 0, "rsb: Lanczos iteration budget per Fiedler solve (0 = default 40)")
+		cpuProf   = flag.String("cpuprofile", "", "bench mode: write a CPU profile covering the measured runs to this file")
+		memProf   = flag.String("memprofile", "", "bench mode: write a heap profile (after a forced GC) to this file when the suite finishes")
 	)
 	flag.Parse()
 
@@ -76,6 +81,7 @@ func main() {
 			inFormat: *inFormat,
 			parts:    *parts,
 			algoCSV:  *algos,
+			caseCSV:  *casesCSV,
 			jsonPath: *jsonPath,
 			baseline: *baseline,
 			tol:      *tol,
@@ -85,6 +91,8 @@ func main() {
 			evalW:    *workers,
 			workers:  *mlWorkers,
 			lanczos:  *lanczos,
+			cpuProf:  *cpuProf,
+			memProf:  *memProf,
 		})
 		return
 	}
@@ -159,6 +167,7 @@ type benchRun struct {
 	inFormat string
 	parts    int
 	algoCSV  string
+	caseCSV  string // comma-separated case names to keep; "" = all
 	jsonPath string
 	baseline string
 	tol      float64
@@ -168,6 +177,8 @@ type benchRun struct {
 	evalW    int    // GA fitness-evaluation width
 	workers  int    // multilevel pipeline width
 	lanczos  int    // rsb Lanczos iteration budget
+	cpuProf  string // write a CPU profile of the measured runs here
+	memProf  string // write a post-GC heap profile here after the suite
 }
 
 // runBench executes a JSON benchmark suite, optionally writes the artifact,
@@ -197,6 +208,27 @@ func runBench(cfg benchRun) {
 			fail(err)
 		}
 	}
+	if cfg.caseCSV != "" {
+		keep := map[string]bool{}
+		for _, n := range strings.Split(cfg.caseCSV, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				keep[n] = true
+			}
+		}
+		var kept []bench.Case
+		for _, c := range cases {
+			if keep[c.Name] {
+				kept = append(kept, c)
+				delete(keep, c.Name)
+			}
+		}
+		if len(keep) > 0 {
+			for n := range keep {
+				fail(fmt.Errorf("-cases: %q is not in suite %q", n, suiteName))
+			}
+		}
+		cases = kept
+	}
 	names := bench.DefaultJSONAlgos()
 	if cfg.algoCSV != "" {
 		names = nil
@@ -223,6 +255,41 @@ func runBench(cfg benchRun) {
 		}
 	}
 	opt := algo.Options{Seed: gen.SuiteSeed, EvalWorkers: cfg.evalW, Workers: cfg.workers, LanczosIter: cfg.lanczos}
+	// Profiles cover only the measured algo.Run loops, not suite generation:
+	// graph construction would otherwise dominate the CPU profile at the 1M+
+	// tier and hide the V-cycle phases the profile exists to expose.
+	if cfg.cpuProf != "" {
+		f, err := os.Create(cfg.cpuProf)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+	}
+	if cfg.memProf != "" {
+		defer func() {
+			f, err := os.Create(cfg.memProf)
+			if err != nil {
+				fail(err)
+			}
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+		}()
+	}
 	start := time.Now()
 	// One report covers every requested objective: RunJSON tags each result
 	// row, and the comparison gates key on (case, algo, objective).

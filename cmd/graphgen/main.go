@@ -9,15 +9,23 @@
 //	graphgen -mesh 167 -format metis > m.metis  # METIS, for partd and external tools
 //	graphgen -grid 8x8 > grid.g                 # structured grid
 //	graphgen -incremental 118+21 -dir .         # base and grown mesh of one case
+//	graphgen -rgg 1000000 -format metis > r.metis    # scale-tier random geometric graph
+//	graphgen -powerlaw 1000000 -format edgelist > p.el
 //
 // -format selects the output encoding (text | metis | edgelist); -suite and
 // -incremental name their files with the matching extension so partd,
 // gapart -in, and external METIS tooling consume them directly.
+//
+// The -rgg and -powerlaw generators reach the scale1M tier (millions of
+// nodes); all output paths stream line by line through a sized buffer, so
+// emitting such graphs costs no memory beyond the graph itself.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,6 +43,10 @@ func main() {
 		incr   = flag.String("incremental", "", "emit an incremental case, e.g. 118+21")
 		domain = flag.String("domain", "", "emit a non-convex domain mesh: lshape|annulus (use with -nodes)")
 		nodes  = flag.Int("nodes", 150, "node count for -domain")
+		rgg    = flag.Int("rgg", 0, "emit a random geometric graph with N nodes (scale1M-tier generator)")
+		radius = flag.Float64("radius", 0, "connection radius for -rgg; 0 = sqrt(2.56/N), the scale-suite density")
+		plaw   = flag.Int("powerlaw", 0, "emit a power-law (preferential attachment) graph with N nodes")
+		seed   = flag.Int64("seed", gen.SuiteSeed, "seed for -rgg and -powerlaw")
 		format = flag.String("format", "text", "output format: text | metis | edgelist")
 		metis  = flag.Bool("metis", false, "deprecated alias for -format metis")
 		dir    = flag.String("dir", ".", "output directory for -suite and -incremental")
@@ -90,6 +102,17 @@ func main() {
 			fatal(fmt.Errorf("unknown -domain %q (want lshape or annulus)", *domain))
 		}
 		emit(gen.DomainMesh(d, *nodes, gen.SuiteSeed))
+	case *rgg > 0:
+		r := *radius
+		if r == 0 {
+			// The scale suites' density: expected degree ~ pi*2.56 = 8, which
+			// keeps the graph connected with high probability while staying
+			// sparse enough that the emit is edge-count, not density, bound.
+			r = math.Sqrt(2.56 / float64(*rgg))
+		}
+		emit(gen.RandomGeometric(rand.New(rand.NewSource(*seed)), *rgg, r))
+	case *plaw > 0:
+		emit(gen.PowerLaw(*plaw, 4, *seed))
 	case *grid != "":
 		var r, c int
 		if _, err := fmt.Sscanf(*grid, "%dx%d", &r, &c); err != nil || r < 1 || c < 1 {

@@ -198,6 +198,7 @@ func registerMultilevel(name, innerName string, refiner multilevel.Refiner, info
 			CoarsestSize: opt.CoarsestSize,
 			RefinePasses: opt.RefinePasses,
 			Refiner:      refiner,
+			LPThreshold:  opt.LPThreshold,
 			Workers:      opt.Workers,
 			Objective:    opt.Objective,
 			Seed:         opt.Seed,

@@ -41,10 +41,20 @@ type Result struct {
 	ImbalanceSq float64 `json:"imbalance_sq"`          // Σ_q (W(q)−W/n)²
 	Balance     float64 `json:"balance"`               // max part weight / ideal; 1.0 is perfect
 
-	WallNS  int64  `json:"wall_ns"`   // total wall time of Repeat runs
-	NsPerOp int64  `json:"ns_per_op"` // WallNS / Repeat
-	Repeat  int    `json:"repeat"`
-	Error   string `json:"error,omitempty"` // non-empty if the algorithm rejected the case
+	WallNS  int64 `json:"wall_ns"`   // total wall time of Repeat runs
+	NsPerOp int64 `json:"ns_per_op"` // WallNS / Repeat
+	Repeat  int   `json:"repeat"`
+	// BytesAlloc and Allocs are the heap bytes and allocation count one run
+	// charged to this (case, algo) pair — runtime.MemStats TotalAlloc/Mallocs
+	// deltas across the measurement divided by Repeat. They make allocation
+	// regressions machine-checkable the same way cut regressions are; like
+	// the timing fields they are environment-dependent (GC timing, worker
+	// count) and never gated exactly, but unlike wall time they are stable
+	// enough to hold to a coarse ratio. Omitted (zero) in pre-instrumentation
+	// baselines, which therefore parse and compare unchanged.
+	BytesAlloc int64  `json:"bytes_alloc,omitempty"`
+	Allocs     int64  `json:"allocs,omitempty"`
+	Error      string `json:"error,omitempty"` // non-empty if the algorithm rejected the case
 }
 
 // Metric returns the result's value of the objective it optimized — Cut for
@@ -150,6 +160,30 @@ func Scale100kSuite() []Case {
 	}
 }
 
+// Scale1MSuite is the million-node tier: a 1M-node random geometric graph
+// (radius chosen so expected degree ≈ n·π·r² ≈ 8, matching the 100k case's
+// density) and a 1M-node power-law graph whose hubs stress the matching and
+// refinement paths differently than the RGG's uniform locality. This is the
+// scale where the V-cycle is allocation- and bandwidth-bound rather than
+// compute-bound; the committed BENCH_scale1M.json gates the arena layer in CI
+// (multilevel-kl only — flat refiners take minutes at this size).
+func Scale1MSuite() []Case {
+	return []Case{
+		{Name: "rgg-1000000-p8", Graph: gen.RandomGeometric(rand.New(rand.NewSource(gen.SuiteSeed+1000000)), 1000000, 0.0016), Parts: 8},
+		{Name: "powerlaw-1000000-p8", Graph: gen.PowerLaw(1000000, 4, gen.SuiteSeed+1000001), Parts: 8},
+	}
+}
+
+// Scale10MSuite is the ten-million-node stretch case. It is never gated in
+// per-push CI — only the scheduled benchtrend workflow runs it — so there is
+// no committed baseline; the point is a long-horizon trend line at the scale
+// the ROADMAP's north star names.
+func Scale10MSuite() []Case {
+	return []Case{
+		{Name: "rgg-10000000-p8", Graph: gen.RandomGeometric(rand.New(rand.NewSource(gen.SuiteSeed+10000000)), 10000000, 0.0005), Parts: 8},
+	}
+}
+
 // SuiteByName maps the -suite flag to a suite constructor.
 func SuiteByName(name string) ([]Case, error) {
 	switch name {
@@ -159,12 +193,16 @@ func SuiteByName(name string) ([]Case, error) {
 		return ScaleSuite(), nil
 	case "scale100k":
 		return Scale100kSuite(), nil
+	case "scale1M":
+		return Scale1MSuite(), nil
+	case "scale10M":
+		return Scale10MSuite(), nil
 	case "diverse":
 		return DiverseSuite(), nil
 	case "weighted":
 		return WeightedSuite(), nil
 	default:
-		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale, scale100k, diverse, weighted)", name)
+		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale, scale100k, scale1M, scale10M, diverse, weighted)", name)
 	}
 }
 
@@ -209,14 +247,21 @@ func RunJSON(suiteName string, cases []Case, algos []string, opt algo.Options, r
 			}
 			o := opt
 			o.Parts = c.Parts
+			var msBefore, msAfter runtime.MemStats
+			runtime.ReadMemStats(&msBefore)
 			start := time.Now()
 			p, err := algo.Run(c.Graph, name, o)
 			for r := 1; r < repeat && err == nil; r++ {
 				p, err = algo.Run(c.Graph, name, o)
 			}
 			res.WallNS = time.Since(start).Nanoseconds()
+			runtime.ReadMemStats(&msAfter)
 			res.NsPerOp = res.WallNS / int64(repeat)
 			res.Repeat = repeat
+			// TotalAlloc/Mallocs are monotonic, so the delta is exactly what
+			// the measured runs allocated (GC frees never subtract from it).
+			res.BytesAlloc = int64(msAfter.TotalAlloc-msBefore.TotalAlloc) / int64(repeat)
+			res.Allocs = int64(msAfter.Mallocs-msBefore.Mallocs) / int64(repeat)
 			if err != nil {
 				res.Error = err.Error()
 			} else {

@@ -58,6 +58,31 @@ type Config struct {
 	// boundaries are consistent states (every kept move went through ev),
 	// so early return yields a valid, just less refined, partition.
 	Stop func() bool
+	// Scratch, when non-nil, supplies the refinement's working memory —
+	// the Theta(n*parts) connectivity table, the gain heap, the move log —
+	// so repeated refinements (one per uncoarsening level, or one per run in
+	// a bench loop) recycle buffers instead of reallocating them. The
+	// buffers grow to the largest refinement served and carry a monotonic
+	// pass counter, so stale state from earlier uses can never validate;
+	// results are bit-identical with and without one. A Scratch is not safe
+	// for concurrent use.
+	Scratch *Scratch
+}
+
+// Scratch owns RefineEval's working state across calls. The zero value is
+// ready to use; see Config.Scratch.
+type Scratch struct {
+	s scratch
+}
+
+// Reserve grows the scratch's buffers for an (n, parts) refinement without
+// running one. Callers that refine a hierarchy from coarse to fine — where
+// every level's natural grow step would reallocate the Theta(n*parts)
+// connectivity table — reserve the finest level's size once so the whole
+// unwind reuses a single allocation. Reserving changes no result: capacity
+// is invisible to the algorithm.
+func (s *Scratch) Reserve(n, parts int) {
+	s.s.grow(n, parts)
 }
 
 // Refine improves p in place, minimizing the edge cut subject to the
@@ -110,7 +135,13 @@ func RefineEval(g *graph.Graph, p *partition.Partition, ev *partition.Eval, cfg 
 	}
 	maxSize := int(math.Ceil(ideal)) + slack
 
-	s := newScratch(n, p.Parts)
+	var s *scratch
+	if cfg.Scratch != nil {
+		s = &cfg.Scratch.s
+		s.grow(n, p.Parts)
+	} else {
+		s = newScratch(n, p.Parts)
+	}
 	var total float64
 	for pass := 0; pass < maxPasses; pass++ {
 		if cfg.Stop != nil && cfg.Stop() {
@@ -143,6 +174,7 @@ type scratch struct {
 	log       []move
 	seedTo    []int32   // parallel seeding: best destination per seed node
 	seedGain  []float64 // ... and its gain (-1 destination = no candidate)
+	seeds     []int     // boundary snapshot buffer, one per pass
 	cuts      []float64 // WorstCut: tentative per-part cuts along the pass's move sequence
 }
 
@@ -154,6 +186,36 @@ func newScratch(n, parts int) *scratch {
 		stamp:     make([]int, n),
 		stampPass: make([]int32, n),
 		work:      partition.New(n, parts),
+	}
+}
+
+// grow resizes the scratch for an (n, parts) refinement, reusing capacity.
+// The pass counter is never reset, so stamps from earlier (even larger)
+// refinements can never equal a new pass's stamp: reused pass-stamped state
+// is invalid by construction, and conn rows are re-zeroed lazily on first
+// touch exactly as within a single refinement. Freshly grown regions are
+// zero, which the monotonically positive pass counter also reads as stale.
+func (s *scratch) grow(n, parts int) {
+	if cap(s.conn) < n*parts {
+		s.conn = make([]float64, n*parts)
+	} else {
+		s.conn = s.conn[:n*parts]
+	}
+	if cap(s.connPass) < n {
+		s.connPass = make([]int32, n)
+		s.lockPass = make([]int32, n)
+		s.stamp = make([]int, n)
+		s.stampPass = make([]int32, n)
+	} else {
+		s.connPass = s.connPass[:n]
+		s.lockPass = s.lockPass[:n]
+		s.stamp = s.stamp[:n]
+		s.stampPass = s.stampPass[:n]
+	}
+	if s.work == nil || s.work.Parts != parts || cap(s.work.Assign) < n {
+		s.work = partition.New(n, parts)
+	} else {
+		s.work.Assign = s.work.Assign[:n]
 	}
 }
 
@@ -311,7 +373,8 @@ func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize
 		return bestOf(v)
 	}
 	if ev.TracksBoundary() {
-		seeds := ev.Boundary()
+		s.seeds = ev.AppendBoundary(s.seeds)
+		seeds := s.seeds
 		s.seedTo, s.seedGain = seedBuffers(s.seedTo, s.seedGain, len(seeds))
 		par.For(workers, len(seeds), func(_, lo, hi int) {
 			for i := lo; i < hi; i++ {

@@ -36,6 +36,12 @@ import (
 	"repro/internal/graph"
 )
 
+// writeBufSize sizes the writers' bufio buffers. The graph writers emit
+// multi-million-line files (graphgen's scale1M tier); a 1 MiB buffer keeps
+// the syscall count in the hundreds where the 4 KiB bufio default would make
+// hundreds of thousands of writes.
+const writeBufSize = 1 << 20
+
 // Format identifies an on-disk graph encoding.
 type Format int
 

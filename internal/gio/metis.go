@@ -146,7 +146,7 @@ func WriteMETIS(w io.Writer, g *graph.Graph) error {
 			}
 		}
 	}
-	bw := bufio.NewWriter(w)
+	bw := bufio.NewWriterSize(w, writeBufSize)
 	code := ""
 	switch {
 	case hasVW && hasEW:

@@ -220,3 +220,22 @@ func TestContractWorkersBitIdentical(t *testing.T) {
 		}
 	}
 }
+
+func TestContractScratchReuseBitIdentical(t *testing.T) {
+	// One scratch recycled across graphs of varying size, weighting, and
+	// coordinate presence must reproduce the fresh-allocation Contract bit
+	// for bit at every worker count: buffer capacity left over from an
+	// earlier (even larger) contraction is invisible to the result. The
+	// sizes deliberately shrink and regrow so reuse exercises both the
+	// reslice and the regrow paths.
+	var s ContractScratch
+	rng := rand.New(rand.NewSource(42))
+	for trial, n := range []int{800, 150, 2400, 60, 1200} {
+		g := contractTestGraph(n, rng, trial%2 == 1)
+		coarseOf, nCoarse := randomCoarseMap(n, rng)
+		ref := Contract(g, coarseOf, nCoarse, 1)
+		for _, workers := range []int{1, 2, 4, 8} {
+			graphsEqual(t, s.Contract(g, coarseOf, nCoarse, workers), ref)
+		}
+	}
+}

@@ -20,35 +20,61 @@ import (
 
 // WriteTo serializes g in the text format. It returns the number of bytes
 // written and the first write error, satisfying io.WriterTo.
+//
+// Lines are built with strconv.Append* into one reused buffer and streamed
+// through a sized bufio.Writer: emitting a multi-million-node graph costs
+// O(1) memory beyond the graph, and none of fmt's per-line verb parsing.
 func (g *Graph) WriteTo(w io.Writer) (int64, error) {
-	bw := bufio.NewWriter(w)
+	const bufSize = 1 << 20
+	bw := bufio.NewWriterSize(w, bufSize)
 	var n int64
-	count := func(c int, err error) error {
+	write := func(buf []byte) error {
+		c, err := bw.Write(buf)
 		n += int64(c)
 		return err
 	}
-	hdr := fmt.Sprintf("graph %d %d", g.NumNodes(), g.NumEdges())
+	buf := make([]byte, 0, 128)
+	buf = append(buf, "graph "...)
+	buf = strconv.AppendInt(buf, int64(g.NumNodes()), 10)
+	buf = append(buf, ' ')
+	buf = strconv.AppendInt(buf, int64(g.NumEdges()), 10)
 	if g.HasCoords() {
-		hdr += " coords"
+		buf = append(buf, " coords"...)
 	}
-	if err := count(fmt.Fprintln(bw, hdr)); err != nil {
+	buf = append(buf, '\n')
+	if err := write(buf); err != nil {
 		return n, err
 	}
+	appendG := func(buf []byte, f float64) []byte {
+		return strconv.AppendFloat(buf, f, 'g', -1, 64)
+	}
 	for v := 0; v < g.NumNodes(); v++ {
-		var err error
+		buf = append(buf[:0], "node "...)
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, ' ')
+		buf = appendG(buf, g.NodeWeight(v))
 		if g.HasCoords() {
 			p := g.Coord(v)
-			err = count(fmt.Fprintf(bw, "node %d %g %g %g\n", v, g.NodeWeight(v), p.X, p.Y))
-		} else {
-			err = count(fmt.Fprintf(bw, "node %d %g\n", v, g.NodeWeight(v)))
+			buf = append(buf, ' ')
+			buf = appendG(buf, p.X)
+			buf = append(buf, ' ')
+			buf = appendG(buf, p.Y)
 		}
-		if err != nil {
+		buf = append(buf, '\n')
+		if err := write(buf); err != nil {
 			return n, err
 		}
 	}
 	var outerErr error
 	g.Edges(func(u, v int, wt float64) bool {
-		if err := count(fmt.Fprintf(bw, "edge %d %d %g\n", u, v, wt)); err != nil {
+		buf = append(buf[:0], "edge "...)
+		buf = strconv.AppendInt(buf, int64(u), 10)
+		buf = append(buf, ' ')
+		buf = strconv.AppendInt(buf, int64(v), 10)
+		buf = append(buf, ' ')
+		buf = appendG(buf, wt)
+		buf = append(buf, '\n')
+		if err := write(buf); err != nil {
 			outerErr = err
 			return false
 		}

@@ -32,6 +32,8 @@
 package kl
 
 import (
+	"sync"
+
 	"repro/internal/graph"
 	"repro/internal/par"
 	"repro/internal/partition"
@@ -64,6 +66,14 @@ func HillClimbColoredStop(g *graph.Graph, p *partition.Partition, o partition.Ob
 	return hillClimbColored(g, p, o, maxPasses, workers, ev, stop)
 }
 
+// climberPool recycles colorClimber scratch across climbs: the multilevel
+// uncoarsening phase runs two climbs per level, and the O(n) bIndex plus the
+// tile/class buffers otherwise reallocate at every one. Pooled state never
+// changes results: every buffer is either fully rewritten before it is read
+// (members, cands, off, ...), restored to its zero invariant by the previous
+// climb (bIndex), or explicitly reset on checkout (the class stamps).
+var climberPool = sync.Pool{New: func() any { return new(colorClimber) }}
+
 func hillClimbColored(g *graph.Graph, p *partition.Partition, o partition.Objective, maxPasses, workers int, ev *partition.Eval, stop func() bool) int {
 	if ev == nil {
 		ev = partition.NewEvalBoundaryPar(g, p, workers)
@@ -73,13 +83,26 @@ func hillClimbColored(g *graph.Graph, p *partition.Partition, o partition.Object
 	if o == partition.CommVolume && !ev.TracksCommVol() {
 		ev.ResetCommVolPar(g, p, workers)
 	}
-	c := &colorClimber{
-		g:       g,
-		p:       p,
-		o:       o,
-		ev:      ev,
-		avg:     g.TotalNodeWeight() / float64(p.Parts),
-		workers: par.Workers(workers),
+	c := climberPool.Get().(*colorClimber)
+	c.g = g
+	c.p = p
+	c.o = o
+	c.ev = ev
+	c.avg = g.TotalNodeWeight() / float64(p.Parts)
+	c.workers = par.Workers(workers)
+	// Pooled class scratch carries stamps from earlier climbs; restart them
+	// so a long-lived process can never wrap a stamp into a stale seen entry
+	// (and so a scratch sized for fewer parts is rebuilt).
+	if len(c.scratch) > 0 && len(c.scratch[0].seen) >= p.Parts {
+		for w := range c.scratch {
+			sc := &c.scratch[w]
+			for i := range sc.seen {
+				sc.seen[i] = 0
+			}
+			sc.stamp = 1
+		}
+	} else {
+		c.scratch = nil
 	}
 	moves := 0
 	for pass := 0; maxPasses <= 0 || pass < maxPasses; pass++ {
@@ -92,6 +115,8 @@ func hillClimbColored(g *graph.Graph, p *partition.Partition, o partition.Object
 			break
 		}
 	}
+	c.g, c.p, c.ev = nil, nil, nil
+	climberPool.Put(c)
 	return moves
 }
 
@@ -133,6 +158,9 @@ type colorClimber struct {
 	wTot    []float64
 	cands   []moveCand
 	scratch []classScratch
+
+	bsnap  []int            // per-pass boundary snapshot buffer
+	colors par.ColorScratch // per-tile coloring buffers
 }
 
 // tileSize is the number of consecutive boundary nodes one colored tile
@@ -152,7 +180,8 @@ const tileSize = 512
 // replay in ascending node order within the class. It returns the number of
 // moves.
 func (c *colorClimber) pass() int {
-	b := c.ev.Boundary() // ascending snapshot
+	c.bsnap = c.ev.AppendBoundary(c.bsnap)
+	b := c.bsnap // ascending snapshot
 	if len(b) == 0 {
 		return 0
 	}
@@ -178,7 +207,7 @@ func (c *colorClimber) sweepTile(tile []int) int {
 	for i, v := range tile {
 		c.bIndex[v] = int32(i + 1)
 	}
-	colors := par.Color(c.workers, len(tile), func(i int, visit func(u int)) {
+	colors := c.colors.Color(c.workers, len(tile), func(i int, visit func(u int)) {
 		for _, u := range c.g.Neighbors(tile[i]) {
 			if j := c.bIndex[u]; j > 0 {
 				visit(int(j - 1))

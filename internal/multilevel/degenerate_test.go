@@ -1,0 +1,97 @@
+package multilevel
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// star returns a star graph: node 0 adjacent to all others, no other edges.
+// Heavy-edge matching can merge only one center–leaf pair per level, so the
+// graph is the canonical coarsening-stall case.
+func star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(0, v, 1)
+	}
+	return b.Build()
+}
+
+// clique returns the complete graph on n nodes.
+func clique(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v, 1)
+		}
+	}
+	return b.Build()
+}
+
+func TestStarCoarseningStallsOutEarly(t *testing.T) {
+	// A 2000-leaf star merges one pair per level; without the stall cut the
+	// hierarchy would grind through all MaxLevels levels shrinking by one
+	// node each. The "nothing to merge" break must fire within the first
+	// few levels instead.
+	g := star(2000)
+	levels, coarsest := BuildHierarchy(g, 64, 30, rand.New(rand.NewSource(1)), 1)
+	if len(levels) > 3 {
+		t.Fatalf("star hierarchy has %d levels, want <= 3 (stall cut missing?)", len(levels))
+	}
+	if coarsest.NumNodes() < g.NumNodes()-len(levels)*g.NumNodes()/20-2 {
+		t.Fatalf("coarsest has %d nodes after %d levels — more merging than a star permits", coarsest.NumNodes(), len(levels))
+	}
+	// The pipeline must still produce a valid partition end to end: the
+	// coarse solver simply sees the (barely coarsened) star itself.
+	p, err := Partition(g, Config{Parts: 4, Seed: 1, Workers: 1}, rsbInner)
+	if err != nil {
+		t.Fatalf("Partition on star: %v", err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("invalid partition on star: %v", err)
+	}
+}
+
+func TestCliqueCoarseningTerminatesBySize(t *testing.T) {
+	// A clique admits a perfect matching at every level, so coarsening
+	// halves the graph each time and reaches CoarsestSize in log2 steps —
+	// nowhere near MaxLevels.
+	g := clique(512)
+	levels, coarsest := BuildHierarchy(g, 64, 30, rand.New(rand.NewSource(1)), 1)
+	if len(levels) > 5 {
+		t.Fatalf("clique hierarchy has %d levels, want <= 5", len(levels))
+	}
+	if coarsest.NumNodes() > 64 {
+		t.Fatalf("coarsest clique has %d nodes, want <= 64", coarsest.NumNodes())
+	}
+	p, err := Partition(g, Config{Parts: 4, Seed: 1, Workers: 1}, rsbInner)
+	if err != nil {
+		t.Fatalf("Partition on clique: %v", err)
+	}
+	if err := p.Validate(g); err != nil {
+		t.Fatalf("invalid partition on clique: %v", err)
+	}
+}
+
+func TestPermIntoMatchesRandPerm(t *testing.T) {
+	// permInto fills a reused buffer with exactly rand.Perm's output and
+	// rng draw sequence — the hierarchy's visit order (and everything
+	// seeded after it) depends on this equivalence.
+	for _, n := range []int{0, 1, 7, 100, 1000} {
+		want := rand.New(rand.NewSource(9)).Perm(n)
+		rng := rand.New(rand.NewSource(9))
+		got := permInto(rng, make([]int, n))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: permInto[%d] = %d, rand.Perm = %d", n, i, got[i], want[i])
+			}
+		}
+		// The rng must be left in the same state rand.Perm leaves it.
+		ref := rand.New(rand.NewSource(9))
+		ref.Perm(n)
+		if rng.Int63() != ref.Int63() {
+			t.Fatalf("n=%d: permInto consumed a different number of rng draws than rand.Perm", n)
+		}
+	}
+}

@@ -30,11 +30,14 @@ package multilevel
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/fm"
 	"repro/internal/graph"
 	"repro/internal/kl"
+	"repro/internal/lp"
 	"repro/internal/par"
 	"repro/internal/partition"
 )
@@ -73,16 +76,29 @@ type Level struct {
 // pick, so the sweep reproduces the serial matching bit for bit while the
 // O(E) scan parallelizes.
 func Coarsen(g *graph.Graph, rng *rand.Rand, workers int) (*graph.Graph, []int) {
+	var hs hierarchyScratch
+	coarseOf := make([]int, g.NumNodes())
+	coarse := hs.coarsen(g, rng, workers, coarseOf)
+	return coarse, coarseOf
+}
+
+// coarsen is Coarsen drawing the matching vectors (match, pref, the order
+// permutation) and the contraction buffers from hs, and writing the
+// fine→coarse map into coarseOf (len g.NumNodes()), which it does not
+// retain. Bit-identical to Coarsen for every input and worker count — the
+// reused order buffer is filled by the exact rand.Perm algorithm, so it
+// consumes the same rng draws.
+func (hs *hierarchyScratch) coarsen(g *graph.Graph, rng *rand.Rand, workers int, coarseOf []int) *graph.Graph {
 	n := g.NumNodes()
-	match := make([]int, n)
+	match := ensureInts(&hs.match, n)
 	for i := range match {
 		match[i] = -1
 	}
-	order := rng.Perm(n)
+	order := permInto(rng, ensureInts(&hs.order, n))
 
 	// Propose phase: pref[v] = v's neighbor across the heaviest edge
 	// (earliest wins ties, matching the serial scan), -1 for isolated nodes.
-	pref := make([]int32, n)
+	pref := ensureInt32s(&hs.pref, n)
 	par.For(workers, n, func(_, lo, hi int) {
 		for v := lo; v < hi; v++ {
 			bestU, bestW := int32(-1), -1.0
@@ -103,7 +119,13 @@ func Coarsen(g *graph.Graph, rng *rand.Rand, workers int) (*graph.Graph, []int) 
 			continue
 		}
 		bestU := int(pref[v])
-		if bestU >= 0 && match[bestU] != -1 {
+		if bestU < 0 {
+			// Isolated node: no proposal, so no partner to claim and nothing
+			// for the fallback rescan to find — self-match immediately.
+			match[v] = v
+			continue
+		}
+		if match[bestU] != -1 {
 			// Proposal already claimed: fall back to the heaviest neighbor
 			// still unmatched.
 			bestU = -1
@@ -121,7 +143,6 @@ func Coarsen(g *graph.Graph, rng *rand.Rand, workers int) (*graph.Graph, []int) 
 			match[v] = v // matched with itself
 		}
 	}
-	coarseOf := make([]int, n)
 	next := 0
 	for v := 0; v < n; v++ {
 		if match[v] >= v { // representative of its pair (or singleton)
@@ -132,7 +153,19 @@ func Coarsen(g *graph.Graph, rng *rand.Rand, workers int) (*graph.Graph, []int) 
 			next++
 		}
 	}
-	return graph.Contract(g, coarseOf, next, workers), coarseOf
+	return hs.contract.Contract(g, coarseOf, next, workers)
+}
+
+// permInto fills buf with rng.Perm(len(buf))'s exact permutation — the same
+// loop over the same rng draws (pinned by the Go 1 compatibility promise on
+// math/rand's value stream) — without allocating.
+func permInto(rng *rand.Rand, buf []int) []int {
+	for i := 0; i < len(buf); i++ {
+		j := rng.Intn(i + 1)
+		buf[i] = buf[j]
+		buf[j] = i
+	}
+	return buf
 }
 
 // Refiner selects the per-level refinement algorithm of the uncoarsening
@@ -204,6 +237,17 @@ type Config struct {
 	// projection, because node identities change.
 	Objective partition.Objective
 	Seed      int64
+	// LPThreshold is the node count at or above which a level's refinement
+	// switches from the KL/FM combination to the size-constrained
+	// label-propagation refiner (package lp): one deterministic colored
+	// sweep per pass, O(deg) per boundary node, no gain heaps — the
+	// KaMinPar-style cheap refiner for levels where KL/FM gain structures
+	// dominate wall time. 0 selects DefaultLPThreshold (250k nodes — above
+	// every committed sub-million baseline, so the default changes no
+	// committed cut); negative disables the switch at every size. The
+	// refiner honors the same Workers bit-identity contract and Stop
+	// polling as the KL/FM path.
+	LPThreshold int
 	// Stats, when non-nil, receives the run's phase timings.
 	Stats *Stats
 	// Stop, when non-nil, requests cooperative cancellation: it is polled
@@ -216,17 +260,31 @@ type Config struct {
 	Stop func() bool
 }
 
-// Stats reports where a Partition call spent its wall time, phase by phase.
-// The uncoarsening phase (projection + per-level refinement) is the half the
-// parallel refactor targets: on multi-core it was the serial bottleneck once
-// coarsening went parallel.
+// Stats reports where a Partition call spent its wall time and heap
+// allocations, phase by phase. The byte counters are runtime.MemStats
+// TotalAlloc deltas around each phase — what the phase allocated, not what
+// it retained — measured only when Config.Stats is non-nil (ReadMemStats
+// briefly stops the world, so unprofiled runs skip it entirely). At the
+// million-node tier the V-cycle is allocation- and bandwidth-bound rather
+// than compute-bound, which is what these fields exist to show.
 type Stats struct {
 	Levels      int           // coarsening levels built
 	Coarsen     time.Duration // hierarchy construction (matching + contraction)
 	CoarseSolve time.Duration // inner partitioner on the coarsest graph
 	Project     time.Duration // assignment projection + boundary rebuilds
 	Refine      time.Duration // per-level refinement (climb, FM, rebalance)
+
+	CoarsenBytes     uint64 // bytes allocated during hierarchy construction
+	CoarseSolveBytes uint64 // ... during the coarse solve
+	ProjectBytes     uint64 // ... during projection + boundary rebuilds
+	RefineBytes      uint64 // ... during per-level refinement
 }
+
+// DefaultLPThreshold is the node count at which Config.LPThreshold == 0
+// switches a level's refinement to label propagation. It sits above every
+// committed sub-million benchmark case (the largest is 100k nodes), so the
+// default-path cuts of all existing baselines are untouched.
+const DefaultLPThreshold = 250_000
 
 func (c *Config) withDefaults() Config {
 	out := *c
@@ -239,7 +297,87 @@ func (c *Config) withDefaults() Config {
 	if out.RefinePasses == 0 {
 		out.RefinePasses = 4
 	}
+	if out.LPThreshold == 0 {
+		out.LPThreshold = DefaultLPThreshold
+	}
 	return out
+}
+
+// allocSnap returns the process's cumulative heap allocation when metering
+// is on, 0 otherwise. Phase counters are deltas between snapshots.
+func allocSnap(enabled bool) uint64 {
+	if !enabled {
+		return 0
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc
+}
+
+// hierarchyScratch owns the V-cycle's reusable working memory: the matching
+// vectors and order permutation (reused level to level — they shrink with
+// the graph), the contraction buffers (graph.ContractScratch), the per-level
+// fine→coarse maps (reused run to run), the FM refinement arena, and the
+// ping-pong Assign vectors of intermediate uncoarsening levels. Partition
+// checks one out of a package pool per call and returns it at the end, so
+// bench loops and the partd service reuse the arena across runs; everything
+// that escapes a run (the returned partition, the hierarchy's coarse graphs)
+// is allocated outside the scratch.
+type hierarchyScratch struct {
+	match    []int
+	order    []int
+	pref     []int32
+	coarse   [][]int // per-level CoarseOf buffers (pool reuse only)
+	contract graph.ContractScratch
+	fm       fm.Scratch
+	lp       lp.Scratch
+	// pingpong holds the two intermediate-level partitions the uncoarsening
+	// loop alternates between; the finest level allocates fresh (it is the
+	// returned result).
+	pingpong [2]*partition.Partition
+}
+
+var hierarchyPool = sync.Pool{New: func() any { return new(hierarchyScratch) }}
+
+// coarseBuf returns the scratch's CoarseOf buffer for hierarchy level li,
+// sized to n.
+func (hs *hierarchyScratch) coarseBuf(li, n int) []int {
+	for len(hs.coarse) <= li {
+		hs.coarse = append(hs.coarse, nil)
+	}
+	return ensureInts(&hs.coarse[li], n)
+}
+
+// levelPartition returns one of the two ping-pong partitions, sized for
+// (n, parts). The uncoarsening loop alternates slots, so the partition a
+// projection reads (p) is never the one it writes (fine).
+func (hs *hierarchyScratch) levelPartition(slot, n, parts int) *partition.Partition {
+	p := hs.pingpong[slot]
+	if p == nil || p.Parts != parts || cap(p.Assign) < n {
+		p = partition.New(n, parts)
+		hs.pingpong[slot] = p
+	} else {
+		p.Assign = p.Assign[:n]
+	}
+	return p
+}
+
+func ensureInts(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	} else {
+		*buf = (*buf)[:n]
+	}
+	return *buf
+}
+
+func ensureInt32s(buf *[]int32, n int) []int32 {
+	if cap(*buf) < n {
+		*buf = make([]int32, n)
+	} else {
+		*buf = (*buf)[:n]
+	}
+	return *buf
 }
 
 // BuildHierarchy coarsens g level by level until it has at most
@@ -250,12 +388,34 @@ func (c *Config) withDefaults() Config {
 // coarsest graph. Exposed for tests and for benchmarks that inspect the
 // hierarchy.
 func BuildHierarchy(g *graph.Graph, coarsestSize, maxLevels int, rng *rand.Rand, workers int) ([]Level, *graph.Graph) {
+	hs := hierarchyPool.Get().(*hierarchyScratch)
+	defer hierarchyPool.Put(hs)
+	return hs.buildHierarchy(g, coarsestSize, maxLevels, rng, workers, false)
+}
+
+// buildHierarchy is BuildHierarchy drawing the matching/contraction buffers
+// from hs. With pooledCoarse, the per-level CoarseOf maps also come from the
+// scratch — only legal when the returned levels do not outlive the scratch
+// checkout (Partition's private use); exported callers get fresh maps.
+func (hs *hierarchyScratch) buildHierarchy(g *graph.Graph, coarsestSize, maxLevels int, rng *rand.Rand, workers int, pooledCoarse bool) ([]Level, *graph.Graph) {
 	var levels []Level
 	cur := g
 	for len(levels) < maxLevels && cur.NumNodes() > coarsestSize {
-		coarse, coarseOf := Coarsen(cur, rng, workers)
-		if coarse.NumNodes() >= cur.NumNodes() {
-			break // matching found nothing to merge
+		var coarseOf []int
+		if pooledCoarse {
+			coarseOf = hs.coarseBuf(len(levels), cur.NumNodes())
+		} else {
+			coarseOf = make([]int, cur.NumNodes())
+		}
+		coarse := hs.coarsen(cur, rng, workers, coarseOf)
+		// Stop when matching found nothing to merge — or almost nothing
+		// (under 5% of nodes): a star center or contracted hub can absorb
+		// one neighbor per level forever, so without the stall cut a
+		// degenerate graph would burn all MaxLevels levels shrinking by a
+		// node at a time. Real meshes and RGGs merge 40–50% per level and
+		// never come near the threshold.
+		if coarse.NumNodes() >= cur.NumNodes() || cur.NumNodes()-coarse.NumNodes() < cur.NumNodes()/20 {
+			break
 		}
 		levels = append(levels, Level{Graph: cur, CoarseOf: coarseOf})
 		cur = coarse
@@ -275,15 +435,21 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 		return nil, fmt.Errorf("multilevel: inner partitioner required")
 	}
 	rng := rand.New(rand.NewSource(c.Seed))
+	hs := hierarchyPool.Get().(*hierarchyScratch)
+	defer hierarchyPool.Put(hs)
+	meter := c.Stats != nil
 
 	var stats Stats
 	start := time.Now()
-	levels, coarsest := BuildHierarchy(g, c.CoarsestSize, c.MaxLevels, rng, c.Workers)
+	alloc := allocSnap(meter)
+	levels, coarsest := hs.buildHierarchy(g, c.CoarsestSize, c.MaxLevels, rng, c.Workers, true)
 	stats.Levels = len(levels)
 	stats.Coarsen = time.Since(start)
+	stats.CoarsenBytes = allocSnap(meter) - alloc
 
 	// Partition the coarsest graph.
 	start = time.Now()
+	alloc = allocSnap(meter)
 	p, err := inner(coarsest, c.Parts, rng)
 	if err != nil {
 		return nil, fmt.Errorf("multilevel: coarse partition: %w", err)
@@ -292,6 +458,7 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 		return nil, fmt.Errorf("multilevel: inner partitioner result invalid: %w", err)
 	}
 	stats.CoarseSolve = time.Since(start)
+	stats.CoarseSolveBytes = allocSnap(meter) - alloc
 
 	// One Eval for the whole uncoarsening phase: projection preserves part
 	// weights (coarse node weights are member sums) and part cuts (coarse
@@ -308,12 +475,33 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 		if c.Objective == partition.CommVolume {
 			ev.ResetCommVolPar(coarsest, p, c.Workers)
 		}
+		// Presize the Eval's per-node buffers for the finest level now, so
+		// the per-level boundary rebuilds below reslice within capacity
+		// instead of reallocating every time the hierarchy grows back.
+		ev.Reserve(g.NumNodes(), c.Parts)
+		if c.Refiner == RefineKLFM || c.Refiner == RefineFM {
+			// Same for FM's Theta(n*parts) connectivity table: growing it
+			// level by level as the hierarchy unwinds would reallocate at
+			// nearly every step for about twice the finest level's bytes.
+			hs.fm.Reserve(g.NumNodes(), c.Parts)
+		}
 	}
 
 	for i := len(levels) - 1; i >= 0; i-- {
 		lvl := levels[i]
 		start = time.Now()
-		fine := partition.New(lvl.Graph.NumNodes(), c.Parts)
+		alloc = allocSnap(meter)
+		n := lvl.Graph.NumNodes()
+		var fine *partition.Partition
+		if i == 0 {
+			// The finest partition is the returned result; it must own its
+			// memory, so it alone is allocated fresh.
+			fine = partition.New(n, c.Parts)
+		} else {
+			// Intermediate levels ping-pong between two pooled partitions:
+			// the one projected into (fine) is never the one read (p).
+			fine = hs.levelPartition(i%2, n, c.Parts)
+		}
 		coarseAssign, coarseOf := p.Assign, lvl.CoarseOf
 		par.For(c.Workers, len(fine.Assign), func(_, lo, hi int) {
 			fa := fine.Assign
@@ -330,13 +518,24 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 			}
 		}
 		stats.Project += time.Since(start)
+		stats.ProjectBytes += allocSnap(meter) - alloc
 		start = time.Now()
+		alloc = allocSnap(meter)
 		stopped := c.Stop != nil && c.Stop()
+		useLP := c.LPThreshold > 0 && n >= c.LPThreshold
 		switch {
 		case stopped:
 			// Cancellation between levels: skip this level's refinement
 			// entirely but keep projecting — the loop must reach levels[0]
 			// for the partition to be a valid answer for g.
+		case c.Refiner == RefineNone:
+		case useLP:
+			// Million-node levels: the KL/FM gain structures (Theta(n·parts)
+			// connectivity, gain heaps) dominate wall time and allocation up
+			// here, so refine with the size-constrained label-propagation
+			// sweep instead, then drain any inherited imbalance.
+			lp.RefineEval(lvl.Graph, fine, ev, lp.Config{MaxPasses: c.RefinePasses, Workers: c.Workers, Stop: c.Stop, Scratch: &hs.lp})
+			kl.RebalancePar(lvl.Graph, fine, ev, c.Objective, c.Workers)
 		case c.Refiner == RefineKLFM:
 			// Climb first (each pass is cheap and takes every strictly
 			// improving move), then a single FM pass to slide through the
@@ -346,18 +545,19 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 			// the combination degrades to pure colored climbing.
 			kl.HillClimbColoredStop(lvl.Graph, fine, c.Objective, c.RefinePasses, c.Workers, ev, c.Stop)
 			if c.Objective != partition.CommVolume {
-				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: 1, Workers: c.Workers, Objective: c.Objective, Stop: c.Stop})
+				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: 1, Workers: c.Workers, Objective: c.Objective, Stop: c.Stop, Scratch: &hs.fm})
 			}
 			kl.RefineEvalParStop(lvl.Graph, fine, ev, c.Objective, 1, c.Workers, c.Stop)
 		case c.Refiner == RefineKL:
 			kl.RefineEvalParStop(lvl.Graph, fine, ev, c.Objective, c.RefinePasses, c.Workers, c.Stop)
 		case c.Refiner == RefineFM:
 			if c.Objective != partition.CommVolume {
-				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: c.RefinePasses, Workers: c.Workers, Objective: c.Objective, Stop: c.Stop})
+				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: c.RefinePasses, Workers: c.Workers, Objective: c.Objective, Stop: c.Stop, Scratch: &hs.fm})
 			}
 			kl.RebalancePar(lvl.Graph, fine, ev, c.Objective, c.Workers)
 		}
 		stats.Refine += time.Since(start)
+		stats.RefineBytes += allocSnap(meter) - alloc
 		p = fine
 	}
 	if c.Stats != nil {

@@ -18,36 +18,126 @@ package par
 // nodes of one color class share no edge, so their candidate moves can be
 // gain-evaluated concurrently without one move invalidating the other's cut
 // deltas.
+//
+// Color allocates its result and working buffers fresh; callers that color
+// repeatedly (one tile at a time, pass after pass) should hold a ColorScratch
+// and call its Color method instead.
 func Color(workers, n int, adj func(v int, visit func(u int))) []int32 {
-	color := make([]int32, n)
+	var s ColorScratch
+	return s.Color(workers, n, adj)
+}
+
+// ColorScratch owns Color's result and working buffers so repeated colorings
+// recycle them. The zero value is ready to use. The slice returned by its
+// Color method aliases the scratch and is valid until the next call; a
+// scratch is not safe for concurrent use.
+type ColorScratch struct {
+	color   []int32
+	active  []int32
+	decided []int32
+	workers []colorWorker
+}
+
+// colorWorker is one worker's per-round visitor state. The adjacency
+// callbacks below are bound methods created once per worker chunk, not
+// per node — with per-node closures, every visited node costs a heap
+// allocation for the closure and its captured locals, which at a few hundred
+// thousand boundary-node visits per refinement dominated the climber's
+// allocation profile.
+type colorWorker struct {
+	v     int
+	pv    uint64
+	wins  bool
+	color []int32
+	mask  uint64
+	high  []int32
+}
+
+// visitWins is the round's priority contest: v loses to any uncolored
+// neighbor with higher priority.
+func (w *colorWorker) visitWins(u int) {
+	if u != w.v && w.color[u] < 0 && prio(u) > w.pv {
+		w.wins = false
+	}
+}
+
+// visitUsed records the colors of v's colored neighbors. Colors below 64
+// are tracked in a bitmask; the rare higher ones (a node with 64+
+// distinctly-colored neighbors) fall back to a slice scan.
+func (w *colorWorker) visitUsed(u int) {
+	if c := w.color[u]; c >= 0 {
+		if c < 64 {
+			w.mask |= 1 << uint(c)
+		} else {
+			w.high = append(w.high, c)
+		}
+	}
+}
+
+// smallestAbsent returns the smallest color not recorded by visitUsed.
+func (w *colorWorker) smallestAbsent() int32 {
+	for c := int32(0); ; c++ {
+		if c < 64 {
+			if w.mask&(1<<uint(c)) == 0 {
+				return c
+			}
+			continue
+		}
+		used := false
+		for _, h := range w.high {
+			if h == c {
+				used = true
+				break
+			}
+		}
+		if !used {
+			return c
+		}
+	}
+}
+
+// Color is the package-level Color drawing the result and every working
+// buffer from s; the two are bit-identical for all inputs and worker counts.
+func (s *ColorScratch) Color(workers, n int, adj func(v int, visit func(u int))) []int32 {
+	if cap(s.color) < n {
+		s.color = make([]int32, n)
+		s.active = make([]int32, n)
+		s.decided = make([]int32, n)
+	}
+	color := s.color[:n]
 	for i := range color {
 		color[i] = -1
 	}
 	if n == 0 {
 		return color
 	}
-	active := make([]int32, n)
+	active := s.active[:n]
 	for i := range active {
 		active[i] = int32(i)
 	}
-	decided := make([]int32, n)
+	decided := s.decided[:n]
+	w := Workers(workers)
+	if len(s.workers) < w {
+		s.workers = make([]colorWorker, w)
+	}
 	for len(active) > 0 {
 		m := len(active)
-		For(workers, m, func(_, lo, hi int) {
+		For(workers, m, func(worker, lo, hi int) {
+			cw := &s.workers[worker]
+			cw.color = color
+			winsFn := cw.visitWins
+			usedFn := cw.visitUsed
 			for i := lo; i < hi; i++ {
 				v := int(active[i])
-				pv := prio(v)
-				wins := true
-				adj(v, func(u int) {
-					if u != v && color[u] < 0 && prio(u) > pv {
-						wins = false
-					}
-				})
-				if !wins {
+				cw.v, cw.pv, cw.wins = v, prio(v), true
+				adj(v, winsFn)
+				if !cw.wins {
 					decided[i] = -1
 					continue
 				}
-				decided[i] = smallestAbsent(v, color, adj)
+				cw.mask, cw.high = 0, cw.high[:0]
+				adj(v, usedFn)
+				decided[i] = cw.smallestAbsent()
 			}
 		})
 		// Apply after all decisions: a round reads only pre-round colors.
@@ -65,41 +155,6 @@ func Color(workers, n int, adj func(v int, visit func(u int))) []int32 {
 		active = next
 	}
 	return color
-}
-
-// smallestAbsent returns the smallest color not used by any colored neighbor
-// of v. Colors below 64 are tracked in a bitmask; the rare higher ones (a
-// node with 64+ distinctly-colored neighbors) fall back to a slice scan.
-func smallestAbsent(v int, color []int32, adj func(v int, visit func(u int))) int32 {
-	var mask uint64
-	var high []int32
-	adj(v, func(u int) {
-		if c := color[u]; c >= 0 {
-			if c < 64 {
-				mask |= 1 << uint(c)
-			} else {
-				high = append(high, c)
-			}
-		}
-	})
-	for c := int32(0); ; c++ {
-		if c < 64 {
-			if mask&(1<<uint(c)) == 0 {
-				return c
-			}
-			continue
-		}
-		used := false
-		for _, h := range high {
-			if h == c {
-				used = true
-				break
-			}
-		}
-		if !used {
-			return c
-		}
-	}
 }
 
 // prio is a splitmix64-style finalizer: a bijection on 64-bit integers, so

@@ -174,6 +174,21 @@ func (ev *Eval) Boundary() []int {
 	return out
 }
 
+// AppendBoundary is Boundary appending into buf (which may be nil) instead
+// of allocating, for refiners that snapshot the boundary once per pass and
+// recycle the buffer: buf's contents are replaced, its capacity is reused.
+func (ev *Eval) AppendBoundary(buf []int) []int {
+	if ev.extDeg == nil {
+		panic("partition: AppendBoundary called on Eval without boundary tracking")
+	}
+	buf = buf[:0]
+	for _, v := range ev.bnodes {
+		buf = append(buf, int(v))
+	}
+	sort.Ints(buf)
+	return buf
+}
+
 // ForEachBoundary calls fn for every tracked boundary node in unspecified
 // order, without allocating or sorting — the right shape for argmax scans
 // (callers wanting deterministic results break ties on node id themselves).

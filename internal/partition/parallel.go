@@ -75,6 +75,36 @@ func NewEvalBoundaryPar(g *graph.Graph, p *Partition, workers int) *Eval {
 	return ev
 }
 
+// Reserve grows the Eval's per-node buffer capacities to accommodate a graph
+// of n nodes without changing any tracked state. The multilevel uncoarsening
+// phase calls it once with the finest graph's size before walking back up the
+// hierarchy: every level's ResetBoundaryPar/ResetCommVolPar then reslices
+// within capacity instead of reallocating as the levels grow. Disabled
+// trackers stay disabled — Reserve presizes only what the Eval already
+// tracks.
+func (ev *Eval) Reserve(n, parts int) {
+	if ev.extDeg != nil {
+		ev.extDeg = reserveInt32(ev.extDeg, n)
+		ev.bpos = reserveInt32(ev.bpos, n)
+		ev.bnodes = reserveInt32(ev.bnodes, n)
+	}
+	if ev.nbrCnt != nil {
+		ev.nbrCnt = reserveInt32(ev.nbrCnt, n*parts)
+		ev.extParts = reserveInt32(ev.extParts, n)
+	}
+}
+
+// reserveInt32 returns s with capacity at least n, preserving its length and
+// contents.
+func reserveInt32(s []int32, n int) []int32 {
+	if cap(s) >= n {
+		return s
+	}
+	out := make([]int32, len(s), n)
+	copy(out, s)
+	return out
+}
+
 // ResetBoundaryPar is ResetBoundary with the O(V+E) adjacency scan sharded
 // over `workers` goroutines. Phase one fills extDeg (every slot owned by
 // exactly one chunk) and counts each chunk's boundary members; a serial
