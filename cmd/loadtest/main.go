@@ -11,13 +11,19 @@
 // most once, so hits >= successes - distinct_keys. The -check flag turns that
 // invariant, plus "zero non-429 errors", into an exit code for CI.
 //
-// With -addr the load goes to a running daemon; without it the tool boots an
-// in-process daemon on a loopback port, so the gate needs no orchestration.
+// With -addr the load goes to a running daemon or partroute fleet router
+// (the wire surface is identical); without it the tool boots an in-process
+// daemon on a loopback port, so the gate needs no orchestration. With
+// -fleet N it boots N in-process shards behind an in-process router instead,
+// and the report gains the per-shard request distribution so routing skew is
+// visible; -check then additionally requires every live shard to have served
+// traffic and the aggregate stats to equal the per-shard sums.
 //
 // Usage:
 //
 //	loadtest -clients 4 -requests 50 -graphs 5 -json bench/BENCH_loadtest.json -check
-//	loadtest -addr 127.0.0.1:8080 -clients 16 -requests 200
+//	loadtest -fleet 3 -clients 6 -requests 40 -json bench/BENCH_fleet.json -check
+//	loadtest -addr 127.0.0.1:9090 -clients 16 -requests 200
 package main
 
 import (
@@ -37,14 +43,17 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/gen"
 	"repro/internal/gio"
+	"repro/internal/ring"
 	"repro/internal/service"
 	"repro/pkg/client"
 )
 
 type config struct {
 	addr     string
+	fleet    int
 	clients  int
 	requests int
 	graphs   int
@@ -60,6 +69,9 @@ type config struct {
 	jsonPath string
 	check    bool
 }
+
+// reportSchema names the report wire format; fleet fields are additive.
+const reportSchema = "repro-loadtest/v1"
 
 // report is the JSON the run emits (and bench/BENCH_loadtest.json commits).
 type report struct {
@@ -96,11 +108,27 @@ type report struct {
 	StoreParses    uint64  `json:"store_parses"`
 	StoreHashes    uint64  `json:"store_hashes"`
 	StoreDedups    uint64  `json:"store_dedups"`
+
+	// Fleet mode only: the per-shard request distribution (keyed by shard
+	// name) and the router's own routing counters, so placement skew and
+	// routing cost are visible in the committed artifact.
+	Shards         map[string]shardReport `json:"shards,omitempty"`
+	RouteParses    uint64                 `json:"route_parses,omitempty"`
+	RouteCacheHits uint64                 `json:"route_cache_hits,omitempty"`
+}
+
+// shardReport is one shard's slice of a fleet run.
+type shardReport struct {
+	Up            bool   `json:"up"`
+	Proxied       uint64 `json:"proxied"` // data-plane requests the router sent it
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	StoreGraphs   int    `json:"store_graphs"`
 }
 
 func main() {
 	var cfg config
-	flag.StringVar(&cfg.addr, "addr", "", "daemon address (empty = boot an in-process daemon)")
+	flag.StringVar(&cfg.addr, "addr", "", "daemon or fleet-router address (empty = boot in-process)")
+	flag.IntVar(&cfg.fleet, "fleet", 0, "boot an in-process fleet of N shards behind a router instead of one daemon (ignored with -addr)")
 	flag.IntVar(&cfg.clients, "clients", 4, "concurrent clients")
 	flag.IntVar(&cfg.requests, "requests", 50, "requests per client")
 	flag.IntVar(&cfg.graphs, "graphs", 5, "distinct stored graphs")
@@ -128,6 +156,19 @@ func main() {
 		time.Duration(rep.LatencyP99NS), time.Duration(rep.LatencyMaxNS))
 	fmt.Printf("loadtest: cache hit rate %.3f (floor %.3f from %d distinct keys)\n",
 		rep.HitRate, rep.PredictedFloor, rep.DistinctKeys)
+	if len(rep.Shards) > 0 {
+		names := make([]string, 0, len(rep.Shards))
+		for name := range rep.Shards {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := rep.Shards[name]
+			fmt.Printf("loadtest: shard %s: up=%v proxied=%d jobs=%d graphs=%d\n",
+				name, s.Up, s.Proxied, s.JobsSubmitted, s.StoreGraphs)
+		}
+		fmt.Printf("loadtest: router parses %d, memo hits %d\n", rep.RouteParses, rep.RouteCacheHits)
+	}
 	if cfg.jsonPath != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
@@ -148,6 +189,21 @@ func main() {
 			log.Fatalf("loadtest: CHECK FAILED: hit rate %.3f below predicted floor %.3f",
 				rep.HitRate, rep.PredictedFloor)
 		}
+		for name, s := range rep.Shards {
+			if s.Up && s.Proxied == 0 {
+				log.Fatalf("loadtest: CHECK FAILED: live shard %s served no requests (routing skew or misconfiguration)", name)
+			}
+		}
+		if len(rep.Shards) > 0 {
+			var shardJobs uint64
+			for _, s := range rep.Shards {
+				shardJobs += s.JobsSubmitted
+			}
+			var aggJobs uint64 = rep.CacheHits + rep.CacheMisses
+			if shardJobs != aggJobs {
+				log.Fatalf("loadtest: CHECK FAILED: aggregate jobs %d != per-shard sum %d (stats aggregation broken)", aggJobs, shardJobs)
+			}
+		}
 		fmt.Println("loadtest: CHECK PASSED")
 	}
 }
@@ -155,7 +211,11 @@ func main() {
 func run(cfg config) (*report, error) {
 	base := cfg.addr
 	if base == "" {
-		addr, shutdown, err := bootDaemon(cfg)
+		boot := bootDaemon
+		if cfg.fleet > 0 {
+			boot = bootFleet
+		}
+		addr, shutdown, err := boot(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -256,7 +316,7 @@ func run(cfg config) (*report, error) {
 	}
 
 	rep := &report{
-		Schema:    "repro-loadtest/v1",
+		Schema:    reportSchema,
 		GoVersion: runtime.Version(),
 		Clients:   cfg.clients, Requests: cfg.requests, Graphs: cfg.graphs,
 		Nodes: cfg.nodes, Parts: cfg.parts, Algo: cfg.algo, Seeds: cfg.seeds,
@@ -282,6 +342,23 @@ func run(cfg config) (*report, error) {
 	if submitted := stats.CacheHits + stats.Coalesced + stats.CacheMisses; submitted > 0 {
 		rep.HitRate = float64(rep.CacheHits) / float64(submitted)
 	}
+	// If the target is a fleet router, its stats carry a per-shard breakdown;
+	// fold it into the report (absent against a single daemon).
+	if fs, err := fetchFleetBlock(base); err != nil {
+		return nil, err
+	} else if fs != nil {
+		rep.Shards = make(map[string]shardReport, len(fs.Fleet.Shards))
+		for _, s := range fs.Fleet.Shards {
+			sr := shardReport{Up: s.Up, Proxied: s.Proxied}
+			if st, ok := fs.Fleet.ShardStats[s.Name]; ok {
+				sr.JobsSubmitted = st.JobsSubmitted
+				sr.StoreGraphs = st.Store.Graphs
+			}
+			rep.Shards[s.Name] = sr
+		}
+		rep.RouteParses = fs.Fleet.Router.RouteParses
+		rep.RouteCacheHits = fs.Fleet.Router.RouteCacheHits
+	}
 	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
 	if len(latencies) > 0 {
 		var sum time.Duration
@@ -306,6 +383,73 @@ func run(cfg config) (*report, error) {
 func isThrottle(err error) bool {
 	var apiErr *client.APIError
 	return errors.As(err, &apiErr) && apiErr.Status == http.StatusTooManyRequests
+}
+
+// fetchFleetBlock reads the target's /v1/stats and returns the fleet block
+// when the target is a router (nil against a single daemon, whose stats
+// carry no "fleet" key).
+func fetchFleetBlock(base string) (*fleet.StatsResponse, error) {
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("reading fleet stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet stats: status %d", resp.StatusCode)
+	}
+	var fs fleet.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		return nil, fmt.Errorf("decoding fleet stats: %w", err)
+	}
+	if len(fs.Fleet.Shards) == 0 {
+		return nil, nil
+	}
+	return &fs, nil
+}
+
+// bootFleet starts cfg.fleet in-process shards and a router over them on
+// loopback ports, returning the router's address and a shutdown func.
+func bootFleet(cfg config) (string, func(), error) {
+	var (
+		members   []ring.Member
+		shutdowns []func()
+	)
+	shutdownAll := func() {
+		for _, f := range shutdowns {
+			f()
+		}
+	}
+	for i := 1; i <= cfg.fleet; i++ {
+		engine := service.New(service.Config{Workers: cfg.workers})
+		opts := []service.HandlerOption{service.WithStore(service.NewGraphStore(0))}
+		if cfg.rate > 0 {
+			opts = append(opts, service.WithQuota(service.NewQuota(cfg.rate, cfg.burst)))
+		}
+		srv := &http.Server{Handler: service.NewHandler(engine, opts...)}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			shutdownAll()
+			return "", nil, err
+		}
+		go srv.Serve(ln)
+		shutdowns = append(shutdowns, func() { srv.Close(); engine.Close() })
+		members = append(members, ring.Member{Name: fmt.Sprintf("s%d", i), Addr: ln.Addr().String()})
+	}
+	rt, err := fleet.New(fleet.Config{Members: members, HealthInterval: 500 * time.Millisecond})
+	if err != nil {
+		shutdownAll()
+		return "", nil, err
+	}
+	shutdowns = append(shutdowns, rt.Close)
+	srv := &http.Server{Handler: rt.Handler()}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		shutdownAll()
+		return "", nil, err
+	}
+	go srv.Serve(ln)
+	shutdowns = append(shutdowns, func() { srv.Close() })
+	return ln.Addr().String(), shutdownAll, nil
 }
 
 // bootDaemon starts an in-process daemon on a loopback port and returns its

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// TestCommittedFleetBaseline gates the committed fleet artifact: a 3-shard
+// run through partroute must have finished with zero errors, every shard
+// proxied to, and sane latency numbers. Regenerate with
+//
+//	go run ./cmd/loadtest -fleet 3 -clients 6 -requests 40 -graphs 6 \
+//	    -json bench/BENCH_fleet.json -check
+func TestCommittedFleetBaseline(t *testing.T) {
+	data, err := os.ReadFile("../../bench/BENCH_fleet.json")
+	if err != nil {
+		t.Fatalf("reading committed fleet baseline: %v", err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decoding BENCH_fleet.json: %v", err)
+	}
+	if rep.Schema != reportSchema {
+		t.Fatalf("schema %q, want %q", rep.Schema, reportSchema)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("committed baseline has %d non-429 errors, want 0", rep.Errors)
+	}
+	if rep.OK == 0 || rep.OK+rep.Throttled != rep.Total {
+		t.Fatalf("request accounting broken: ok=%d throttled=%d total=%d",
+			rep.OK, rep.Throttled, rep.Total)
+	}
+	if len(rep.Shards) != 3 {
+		t.Fatalf("baseline has %d shards, want 3", len(rep.Shards))
+	}
+	var proxied uint64
+	for name, sh := range rep.Shards {
+		if !sh.Up {
+			t.Errorf("shard %s recorded down in baseline", name)
+		}
+		if sh.Proxied == 0 {
+			t.Errorf("shard %s served zero proxied requests", name)
+		}
+		proxied += sh.Proxied
+	}
+	if proxied == 0 {
+		t.Fatal("no shard served any request")
+	}
+	if rep.ThroughputHz == 0 || rep.LatencyP99NS == 0 {
+		t.Fatalf("missing perf numbers: throughput=%d p99=%d",
+			rep.ThroughputHz, rep.LatencyP99NS)
+	}
+	if rep.LatencyP50NS > rep.LatencyP99NS || rep.LatencyP99NS > rep.LatencyMaxNS {
+		t.Fatalf("latency quantiles out of order: p50=%d p99=%d max=%d",
+			rep.LatencyP50NS, rep.LatencyP99NS, rep.LatencyMaxNS)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/ring"
 	"repro/internal/service"
 )
 
@@ -55,6 +56,10 @@ func main() {
 		jobLogMax = flag.Int("job-log-max", 0, "job log record bound (0 = default 1024)")
 		rate      = flag.Float64("rate", 0, "per-client sustained mutating-requests/sec quota (0 = no admission control)")
 		burst     = flag.Float64("burst", 0, "per-client burst allowance on top of -rate (0 = max(rate, 1))")
+		tokens    = flag.String("tokens", "", "bearer-token file (one '<token> <client-name>' per line); when set every request except /v1/healthz must authenticate")
+		fleet     = flag.String("fleet", "", "fleet members as name=host:port,... (enables peer-fetch of graphs this shard does not hold)")
+		self      = flag.String("self", "", "this shard's member name within -fleet (required with -fleet)")
+		peerToken = flag.String("peer-token", "", "bearer token presented to fleet peers when fetching graphs")
 	)
 	flag.Parse()
 
@@ -89,12 +94,35 @@ func main() {
 		Restore:        restored,
 	})
 	store := service.NewGraphStore(int64(*storeMB) << 20)
-	var quota *service.Quota
+	opts := []service.HandlerOption{service.WithStore(store)}
 	if *rate > 0 {
-		quota = service.NewQuota(*rate, *burst)
+		opts = append(opts, service.WithQuota(service.NewQuota(*rate, *burst)))
+	}
+	if *tokens != "" {
+		auth, err := service.LoadAuthFile(*tokens)
+		if err != nil {
+			log.Fatalf("partd: %v", err)
+		}
+		opts = append(opts, service.WithAuth(auth))
+	}
+	if *fleet != "" {
+		members, err := ring.ParseMembers(*fleet)
+		if err != nil {
+			log.Fatalf("partd: %v", err)
+		}
+		if *self == "" {
+			log.Fatal("partd: -fleet requires -self (this shard's member name)")
+		}
+		peers, err := service.NewPeerFetcher(members, *self, *peerToken)
+		if err != nil {
+			log.Fatalf("partd: %v", err)
+		}
+		opts = append(opts, service.WithPeers(peers))
+	} else if *self != "" {
+		log.Fatal("partd: -self is meaningless without -fleet")
 	}
 	srv := &http.Server{
-		Handler:           service.NewHandler(engine, service.WithStore(store), service.WithQuota(quota)),
+		Handler:           service.NewHandler(engine, opts...),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

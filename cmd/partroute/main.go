@@ -1,0 +1,103 @@
+// Command partroute is the partd fleet router: a stateless proxy that
+// spreads the v2 API across many partd shards by consistent-hashing each
+// graph's content address (internal/ring, internal/fleet).
+//
+// Usage:
+//
+//	partroute -addr :9090 \
+//	    -shards s1=127.0.0.1:8081,s2=127.0.0.1:8082,s3=127.0.0.1:8083
+//
+// Clients use the router exactly like a single partd daemon — same
+// endpoints, same error envelopes — except job ids come back
+// shard-qualified ("s1/j00000042") so polls and cancels route themselves.
+// GET /v1/stats aggregates the fleet (summed counters plus a per-shard
+// breakdown under "fleet"); GET /v1/algos advertises the intersection of the
+// live shards' registries. Shards that stop answering are marked down (by
+// the background health check and passively on transport errors) and keyed
+// requests re-resolve to the next replica on the ring until they return.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/internal/ring"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9090", "listen address (use :0 for an ephemeral port)")
+		addrFile = flag.String("addr-file", "", "write the resolved listen address to this file once serving (for scripts using -addr :0)")
+		shards   = flag.String("shards", "", "fleet members as name=host:port,... (required; names prefix job ids)")
+		vnodes   = flag.Int("vnodes", 0, "virtual nodes per shard on the hash ring (0 = default)")
+		token    = flag.String("token", "", "bearer token for router-originated fleet calls (stats/algos fan-out) when shards run with -tokens")
+		health   = flag.Duration("health-interval", 2*time.Second, "active shard health-check period (0 disables; passive markdown still applies)")
+	)
+	flag.Parse()
+	if *shards == "" {
+		log.Fatal("partroute: -shards is required (e.g. -shards s1=host:port,s2=host:port)")
+	}
+	members, err := ring.ParseMembers(*shards)
+	if err != nil {
+		log.Fatalf("partroute: %v", err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	interval := *health
+	if interval == 0 {
+		interval = -1 // Config: 0 means default, negative disables
+	}
+	rt, err := fleet.New(fleet.Config{
+		Members:        members,
+		VNodes:         *vnodes,
+		Token:          *token,
+		HealthInterval: interval,
+		Logf:           log.Printf,
+	})
+	if err != nil {
+		log.Fatalf("partroute: %v", err)
+	}
+	defer rt.Close()
+	rt.Probe() // know the fleet's state before serving
+
+	srv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("partroute: %v", err)
+	}
+	log.Printf("partroute: routing %d shards on %s (api %s)", len(members), ln.Addr(), service.APIVersion)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			log.Fatalf("partroute: writing -addr-file: %v", err)
+		}
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("partroute: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("partroute: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("partroute: shutdown: %v", err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package ring implements the deterministic consistent-hash ring that places
+// content-addressed graphs on a partd fleet.
+//
+// Every member contributes a fixed number of virtual nodes (points on a
+// 64-bit circle, derived by hashing "member#index" with SHA-256), and a key
+// is owned by the member whose point is the key's clockwise successor. The
+// construction is a pure function of the *set* of member names: permuting or
+// deduplicating the input list yields an identical ring, so every router and
+// every shard configured with the same membership agrees on placement with
+// no coordination.
+//
+// Consistent hashing's minimal-disruption property holds by construction and
+// is pinned by tests: adding a member only moves the keys the new member now
+// owns (~1/N of them), and removing a member only moves the keys it owned —
+// all other key→member assignments are untouched. That is what makes lazy
+// peer-fetch rebalancing (internal/service) cheap after a membership change.
+package ring
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultVNodes is the virtual-node count per member when New is given a
+// non-positive one. 64 points per member keeps the expected per-member load
+// within a few percent of uniform for small fleets while the ring stays tiny.
+const DefaultVNodes = 64
+
+// Member is one fleet member: a stable logical name (the ring key, and the
+// prefix of routed job ids) and the host:port it serves on. Naming members
+// logically rather than by address keeps placement stable when a shard
+// restarts on a different port.
+type Member struct {
+	Name string
+	Addr string
+}
+
+// ParseMembers parses a fleet specification: comma-separated entries, each
+// either "name=host:port" or a bare "host:port" (which names the member by
+// its address). Names must be unique and must not contain '/', '=', ',' or
+// whitespace — they appear inside job ids and URL paths.
+func ParseMembers(spec string) ([]Member, error) {
+	var out []Member
+	seen := make(map[string]bool)
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		m := Member{Name: part, Addr: part}
+		if i := strings.IndexByte(part, '='); i >= 0 {
+			m.Name, m.Addr = part[:i], part[i+1:]
+		}
+		if m.Name == "" || m.Addr == "" {
+			return nil, fmt.Errorf("ring: malformed member %q (want name=host:port or host:port)", part)
+		}
+		if strings.ContainsAny(m.Name, "/= \t") {
+			return nil, fmt.Errorf("ring: member name %q may not contain '/', '=', or whitespace", m.Name)
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("ring: duplicate member name %q", m.Name)
+		}
+		seen[m.Name] = true
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("ring: empty member specification")
+	}
+	return out, nil
+}
+
+// Names extracts the member names from a parsed specification, in input
+// order.
+func Names(members []Member) []string {
+	out := make([]string, len(members))
+	for i, m := range members {
+		out[i] = m.Name
+	}
+	return out
+}
+
+// Ring is an immutable consistent-hash ring over a set of member names. It
+// is safe for concurrent use.
+type Ring struct {
+	members []string // sorted unique names
+	points  []point  // sorted by (hash, member)
+}
+
+type point struct {
+	hash   uint64
+	member int32 // index into members
+}
+
+// New builds a ring over members with vnodes virtual nodes each (<= 0
+// selects DefaultVNodes). The member list is deduplicated and sorted, so any
+// permutation of the same set builds an identical ring.
+func New(members []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	uniq := make([]string, 0, len(members))
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m == "" {
+			return nil, fmt.Errorf("ring: empty member name")
+		}
+		if !seen[m] {
+			seen[m] = true
+			uniq = append(uniq, m)
+		}
+	}
+	if len(uniq) == 0 {
+		return nil, fmt.Errorf("ring: need at least one member")
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		members: uniq,
+		points:  make([]point, 0, len(uniq)*vnodes),
+	}
+	for mi, name := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{
+				hash:   hash64(name + "#" + strconv.Itoa(v)),
+				member: int32(mi),
+			})
+		}
+	}
+	// Ties (astronomically unlikely with SHA-256-derived points) break by
+	// member index so the order never depends on input permutation.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].member < r.points[j].member
+	})
+	return r, nil
+}
+
+// hash64 is the ring's point/key hash: the first 8 bytes of SHA-256,
+// big-endian. SHA-256 rather than a fast non-cryptographic hash because the
+// placement must be identical across every process and toolchain version
+// forever — these positions are effectively an on-disk format.
+func hash64(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members returns the sorted member names.
+func (r *Ring) Members() []string {
+	out := make([]string, len(r.members))
+	copy(out, r.members)
+	return out
+}
+
+// Size returns the member count.
+func (r *Ring) Size() int { return len(r.members) }
+
+// Has reports whether name is a ring member.
+func (r *Ring) Has(name string) bool {
+	i := sort.SearchStrings(r.members, name)
+	return i < len(r.members) && r.members[i] == name
+}
+
+// successor returns the index of the first point clockwise from key.
+func (r *Ring) successor(key string) int {
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap past the top of the circle
+	}
+	return i
+}
+
+// Owner returns the member that owns key: the member whose virtual node is
+// the key's clockwise successor.
+func (r *Ring) Owner(key string) string {
+	return r.members[r.points[r.successor(key)].member]
+}
+
+// Replicas returns up to n distinct members in ring order starting from the
+// key's owner: the owner first, then the members that would own the key if
+// every earlier replica were removed. Replicas[1] is therefore the member
+// that owned the key before the current owner joined — the peer a shard
+// fetches from when rebalancing lazily.
+func (r *Ring) Replicas(key string, n int) []string {
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]string, 0, n)
+	seen := make(map[int32]bool, n)
+	start := r.successor(key)
+	for i := 0; i < len(r.points) && len(out) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// OwnerAmong returns the first replica for key that live reports true — the
+// member a router should route to when some members are down. It returns
+// false only when live rejects every member.
+func (r *Ring) OwnerAmong(key string, live func(string) bool) (string, bool) {
+	seen := make(map[int32]bool, len(r.members))
+	start := r.successor(key)
+	for i := 0; i < len(r.points) && len(seen) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if seen[p.member] {
+			continue
+		}
+		seen[p.member] = true
+		if m := r.members[p.member]; live(m) {
+			return m, true
+		}
+	}
+	return "", false
+}

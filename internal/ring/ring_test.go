@@ -1,0 +1,214 @@
+package ring
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("sha256:%064x", i*2654435761)
+	}
+	return out
+}
+
+// The ring is a pure function of the member *set*: shuffled and duplicated
+// input lists build rings that agree on every owner and replica list.
+func TestPermutationStability(t *testing.T) {
+	members := []string{"s1", "s2", "s3", "s4", "s5"}
+	base, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		shuffled = append(shuffled, shuffled[trial]) // duplicates collapse
+		r, err := New(shuffled, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(r.Members(), base.Members()) {
+			t.Fatalf("members %v != %v", r.Members(), base.Members())
+		}
+		for _, k := range keys(500) {
+			if r.Owner(k) != base.Owner(k) {
+				t.Fatalf("trial %d: owner of %s differs: %s vs %s", trial, k, r.Owner(k), base.Owner(k))
+			}
+			if !reflect.DeepEqual(r.Replicas(k, 3), base.Replicas(k, 3)) {
+				t.Fatalf("trial %d: replicas of %s differ", trial, k)
+			}
+		}
+	}
+}
+
+// Pinned placements: these exact assignments are part of the fleet's wire
+// compatibility (a router and a shard from different builds must agree), so
+// a change to the hash or the point layout must show up here, loudly.
+func TestPinnedPlacements(t *testing.T) {
+	r, err := New([]string{"s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table computed once from the committed implementation.
+	pinned := map[string]string{
+		"sha256:aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa": "s3",
+		"sha256:bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb": "s3",
+		"alpha": "s1",
+		"beta":  "s1",
+		"gamma": "s2",
+	}
+	for k, want := range pinned {
+		if got := r.Owner(k); got != want {
+			t.Errorf("Owner(%q) = %s, want %s (placement changed: this breaks mixed-version fleets)", k, got, want)
+		}
+	}
+}
+
+// Adding a member moves keys ONLY onto the new member, and roughly 1/N of
+// them; every key whose owner is unchanged keeps its exact replica order
+// prefix. This is the minimal-disruption property lazy rebalancing relies on.
+func TestAddMemberMinimalDisruption(t *testing.T) {
+	old, err := New([]string{"s1", "s2", "s3", "s4"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := New([]string{"s1", "s2", "s3", "s4", "s5"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := keys(4000)
+	moved := 0
+	for _, k := range ks {
+		was, is := old.Owner(k), grown.Owner(k)
+		if was == is {
+			continue
+		}
+		moved++
+		if is != "s5" {
+			t.Fatalf("key %s moved %s -> %s, not to the new member", k, was, is)
+		}
+		// The displaced owner is exactly the new ring's second replica: the
+		// shard a peer-fetch should ask for the graph.
+		if reps := grown.Replicas(k, 2); len(reps) != 2 || reps[1] != was {
+			t.Fatalf("key %s: previous owner %s is not the successor replica %v", k, was, reps)
+		}
+	}
+	want := float64(len(ks)) / 5
+	if f := float64(moved); f < want*0.5 || f > want*1.6 {
+		t.Fatalf("%d of %d keys moved; want about 1/5 (~%.0f)", moved, len(ks), want)
+	}
+}
+
+// Removing a member moves only the keys it owned; all other assignments are
+// byte-identical.
+func TestRemoveMemberMinimalDisruption(t *testing.T) {
+	full, err := New([]string{"s1", "s2", "s3", "s4", "s5"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunk, err := New([]string{"s1", "s2", "s4", "s5"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(4000) {
+		was := full.Owner(k)
+		if was == "s3" {
+			// Must land on the old ring's next replica.
+			if reps := full.Replicas(k, 2); shrunk.Owner(k) != reps[1] {
+				t.Fatalf("key %s: owner after removal %s, want next replica %s", k, shrunk.Owner(k), reps[1])
+			}
+			continue
+		}
+		if shrunk.Owner(k) != was {
+			t.Fatalf("key %s not owned by removed member moved %s -> %s", k, was, shrunk.Owner(k))
+		}
+	}
+}
+
+// OwnerAmong skips dead members in replica order and agrees with Replicas.
+func TestOwnerAmongFailover(t *testing.T) {
+	r, err := New([]string{"s1", "s2", "s3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys(300) {
+		reps := r.Replicas(k, 3)
+		if len(reps) != 3 || reps[0] != r.Owner(k) {
+			t.Fatalf("replicas %v, owner %s", reps, r.Owner(k))
+		}
+		if m := map[string]bool{reps[0]: true, reps[1]: true, reps[2]: true}; len(m) != 3 {
+			t.Fatalf("replicas not distinct: %v", reps)
+		}
+		got, ok := r.OwnerAmong(k, func(m string) bool { return m != reps[0] })
+		if !ok || got != reps[1] {
+			t.Fatalf("with owner down, OwnerAmong = %s (ok=%v), want %s", got, ok, reps[1])
+		}
+		got, ok = r.OwnerAmong(k, func(m string) bool { return m == reps[2] })
+		if !ok || got != reps[2] {
+			t.Fatalf("with two down, OwnerAmong = %s (ok=%v), want %s", got, ok, reps[2])
+		}
+		if _, ok := r.OwnerAmong(k, func(string) bool { return false }); ok {
+			t.Fatal("OwnerAmong with nothing live reported an owner")
+		}
+	}
+}
+
+// The per-member load of a realistic key population stays near uniform.
+func TestBalance(t *testing.T) {
+	members := []string{"s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8"}
+	r, err := New(members, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	ks := keys(20000)
+	for _, k := range ks {
+		counts[r.Owner(k)]++
+	}
+	mean := float64(len(ks)) / float64(len(members))
+	for m, c := range counts {
+		if f := float64(c); f < mean*0.5 || f > mean*1.6 {
+			t.Errorf("member %s owns %d keys; mean %.0f (ring too skewed)", m, c, mean)
+		}
+	}
+	if len(counts) != len(members) {
+		t.Fatalf("only %d of %d members own keys", len(counts), len(members))
+	}
+}
+
+func TestParseMembers(t *testing.T) {
+	ms, err := ParseMembers("s1=127.0.0.1:7001, s2=127.0.0.1:7002,127.0.0.1:7003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Member{
+		{Name: "s1", Addr: "127.0.0.1:7001"},
+		{Name: "s2", Addr: "127.0.0.1:7002"},
+		{Name: "127.0.0.1:7003", Addr: "127.0.0.1:7003"},
+	}
+	if !reflect.DeepEqual(ms, want) {
+		t.Fatalf("parsed %v, want %v", ms, want)
+	}
+	if !reflect.DeepEqual(Names(ms), []string{"s1", "s2", "127.0.0.1:7003"}) {
+		t.Fatalf("names %v", Names(ms))
+	}
+	for _, bad := range []string{"", "=addr", "name=", "s1=a,s1=b", "a/b=addr", ","} {
+		if _, err := ParseMembers(bad); err == nil {
+			t.Errorf("ParseMembers(%q) accepted", bad)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 0); err == nil {
+		t.Error("empty ring accepted")
+	}
+	if _, err := New([]string{""}, 0); err == nil {
+		t.Error("empty member name accepted")
+	}
+}

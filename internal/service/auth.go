@@ -1,0 +1,111 @@
+package service
+
+import (
+	"bufio"
+	"crypto/subtle"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+)
+
+// Auth is partd's static bearer-token authentication: a fixed map of token →
+// client name loaded at boot (-tokens FILE). When configured, every request
+// except GET /v1/healthz must carry "Authorization: Bearer <token>"; a
+// missing or unknown token is refused with a structured 401. The client name
+// bound to the token replaces the cooperative X-Client header as the quota
+// identity, so per-client admission control stops being honor-system: a
+// client cannot dodge its bucket by renaming itself.
+//
+// Static tokens in a file are deliberately the whole mechanism — the module
+// is zero-dependency, and rotating a token is editing a line and restarting
+// (or running multiple tokens per client name during the transition, which
+// the map shape permits).
+type Auth struct {
+	entries []authEntry
+}
+
+type authEntry struct {
+	token, name string
+}
+
+// NewAuth builds an authenticator over a token → client-name map.
+func NewAuth(tokens map[string]string) (*Auth, error) {
+	a := &Auth{}
+	for tok, name := range tokens {
+		if err := a.add(tok, name); err != nil {
+			return nil, err
+		}
+	}
+	if len(a.entries) == 0 {
+		return nil, fmt.Errorf("service: auth configured with no tokens")
+	}
+	return a, nil
+}
+
+func (a *Auth) add(token, name string) error {
+	if token == "" || name == "" {
+		return fmt.Errorf("service: auth entry with empty token or client name")
+	}
+	for _, e := range a.entries {
+		if e.token == token {
+			return fmt.Errorf("service: duplicate auth token (maps to both %q and %q)", e.name, name)
+		}
+	}
+	a.entries = append(a.entries, authEntry{token: token, name: name})
+	return nil
+}
+
+// LoadAuthFile reads a token file: one "<token> <client-name>" pair per
+// line, whitespace-separated; blank lines and #-comments are ignored.
+func LoadAuthFile(path string) (*Auth, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening token file: %w", err)
+	}
+	defer f.Close()
+	a := &Auth{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("service: %s:%d: want \"<token> <client-name>\", got %d fields", path, line, len(fields))
+		}
+		if err := a.add(fields[0], fields[1]); err != nil {
+			return nil, fmt.Errorf("service: %s:%d: %w", path, line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("service: reading token file: %w", err)
+	}
+	if len(a.entries) == 0 {
+		return nil, fmt.Errorf("service: token file %s holds no tokens", path)
+	}
+	return a, nil
+}
+
+// Identify extracts and verifies the request's bearer token, returning the
+// client name bound to it. The scan is linear with constant-time compares:
+// token files are small, and the lookup must not leak which prefix of a
+// guessed token matched.
+func (a *Auth) Identify(r *http.Request) (string, bool) {
+	const scheme = "Bearer "
+	h := r.Header.Get("Authorization")
+	if len(h) <= len(scheme) || !strings.EqualFold(h[:len(scheme)], scheme) {
+		return "", false
+	}
+	tok := strings.TrimSpace(h[len(scheme):])
+	name, found := "", false
+	for _, e := range a.entries {
+		if subtle.ConstantTimeCompare([]byte(e.token), []byte(tok)) == 1 {
+			name, found = e.name, true
+		}
+	}
+	return name, found
+}

@@ -1,0 +1,202 @@
+package service
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Canonical binary graph codec — the fleet's peer-transfer format.
+//
+// Peer-fetch must move a stored graph between shards *content-hash
+// faithfully*: the receiving shard re-hashes what it decodes and refuses a
+// mismatch, so the wire format has to round-trip every hashed field. The
+// text formats in internal/gio cannot do that (METIS and edge-list carry no
+// coordinates, and float weights lose bits through decimal), so the fleet
+// transfers the CSR content directly: little-endian, in exactly the
+// canonical order hashGraph digests. GET /v1/graphs/{hash}?export=bin serves
+// it; PeerFetcher decodes it.
+//
+// Layout: "PDG1" magic, u64 node count, u64 adjacency length (2x undirected
+// edges), u8 hasCoords; then node weights (f64 each), coordinates (x,y f64
+// pairs, when present), per-node degrees (u32), adjacency (u32), edge
+// weights (f64).
+
+const graphBinMagic = "PDG1"
+
+// maxBinNodes/maxBinAdj guard the decoder against allocation bombs from a
+// corrupt or hostile peer before any array is allocated. They admit graphs
+// an order of magnitude past the scale1M suites.
+const (
+	maxBinNodes = 1 << 28
+	maxBinAdj   = 1 << 31
+)
+
+// WriteGraphBinary encodes g in the canonical binary format.
+func WriteGraphBinary(w io.Writer, g *graph.Graph) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var scratch [8]byte
+	u64 := func(x uint64) {
+		binary.LittleEndian.PutUint64(scratch[:], x)
+		bw.Write(scratch[:8])
+	}
+	u32 := func(x uint32) {
+		binary.LittleEndian.PutUint32(scratch[:4], x)
+		bw.Write(scratch[:4])
+	}
+	f64 := func(f float64) { u64(math.Float64bits(f)) }
+
+	n := g.NumNodes()
+	adjLen := 2 * g.NumEdges()
+	bw.WriteString(graphBinMagic)
+	u64(uint64(n))
+	u64(uint64(adjLen))
+	hasCoords := g.HasCoords()
+	if hasCoords {
+		bw.WriteByte(1)
+	} else {
+		bw.WriteByte(0)
+	}
+	for v := 0; v < n; v++ {
+		f64(g.NodeWeight(v))
+	}
+	if hasCoords {
+		for v := 0; v < n; v++ {
+			p := g.Coord(v)
+			f64(p.X)
+			f64(p.Y)
+		}
+	}
+	for v := 0; v < n; v++ {
+		u32(uint32(g.Degree(v)))
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			u32(uint32(u))
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.EdgeWeights(v) {
+			f64(w)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadGraphBinary decodes a graph written by WriteGraphBinary, validating
+// structure via graph.FromCSR. Callers that received the bytes from an
+// untrusted peer should additionally verify the content hash.
+func ReadGraphBinary(r io.Reader) (*graph.Graph, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var scratch [8]byte
+	u64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	u32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	f64 := func() (float64, error) {
+		x, err := u64()
+		return math.Float64frombits(x), err
+	}
+
+	magic := make([]byte, len(graphBinMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("service: graph binary header: %w", err)
+	}
+	if string(magic) != graphBinMagic {
+		return nil, fmt.Errorf("service: bad graph binary magic %q", magic)
+	}
+	n64, err := u64()
+	if err != nil {
+		return nil, fmt.Errorf("service: graph binary header: %w", err)
+	}
+	adj64, err := u64()
+	if err != nil {
+		return nil, fmt.Errorf("service: graph binary header: %w", err)
+	}
+	if n64 == 0 || n64 > maxBinNodes {
+		return nil, fmt.Errorf("service: graph binary names %d nodes (max %d)", n64, maxBinNodes)
+	}
+	if adj64 > maxBinAdj || adj64%2 != 0 {
+		return nil, fmt.Errorf("service: graph binary names %d adjacency entries (max %d, must be even)", adj64, maxBinAdj)
+	}
+	n, adjLen := int(n64), int(adj64)
+	coordByte, err := br.ReadByte()
+	if err != nil {
+		return nil, fmt.Errorf("service: graph binary header: %w", err)
+	}
+	if coordByte > 1 {
+		return nil, fmt.Errorf("service: graph binary coords flag %d", coordByte)
+	}
+
+	nodeWeight := make([]float64, n)
+	for v := range nodeWeight {
+		if nodeWeight[v], err = f64(); err != nil {
+			return nil, fmt.Errorf("service: graph binary node weights: %w", err)
+		}
+	}
+	var coords []graph.Point
+	if coordByte == 1 {
+		coords = make([]graph.Point, n)
+		for v := range coords {
+			if coords[v].X, err = f64(); err != nil {
+				return nil, fmt.Errorf("service: graph binary coords: %w", err)
+			}
+			if coords[v].Y, err = f64(); err != nil {
+				return nil, fmt.Errorf("service: graph binary coords: %w", err)
+			}
+		}
+	}
+	offsets := make([]int32, n+1)
+	total := 0
+	for v := 0; v < n; v++ {
+		deg, err := u32()
+		if err != nil {
+			return nil, fmt.Errorf("service: graph binary degrees: %w", err)
+		}
+		total += int(deg)
+		if total > adjLen {
+			return nil, fmt.Errorf("service: graph binary degrees exceed adjacency length %d", adjLen)
+		}
+		offsets[v+1] = int32(total)
+	}
+	if total != adjLen {
+		return nil, fmt.Errorf("service: graph binary degrees sum to %d, header says %d", total, adjLen)
+	}
+	adj := make([]int32, adjLen)
+	for i := range adj {
+		u, err := u32()
+		if err != nil {
+			return nil, fmt.Errorf("service: graph binary adjacency: %w", err)
+		}
+		if u >= uint32(n) {
+			return nil, fmt.Errorf("service: graph binary neighbor %d out of range (n=%d)", u, n)
+		}
+		adj[i] = int32(u)
+	}
+	edgeWeight := make([]float64, adjLen)
+	for i := range edgeWeight {
+		if edgeWeight[i], err = f64(); err != nil {
+			return nil, fmt.Errorf("service: graph binary edge weights: %w", err)
+		}
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("service: trailing bytes after graph binary payload")
+	}
+	g, err := graph.FromCSR(offsets, adj, edgeWeight, nodeWeight, coords)
+	if err != nil {
+		return nil, fmt.Errorf("service: graph binary content: %w", err)
+	}
+	return g, nil
+}

@@ -158,6 +158,7 @@ type StatsResponse struct {
 	Stats
 	Store StoreStats  `json:"store"`
 	Quota *QuotaStats `json:"quota,omitempty"`
+	Peer  *PeerStats  `json:"peer,omitempty"`
 }
 
 // HandlerOption configures NewHandler.
@@ -174,6 +175,20 @@ func WithStore(st *GraphStore) HandlerOption {
 // quota) everything is admitted, as before.
 func WithQuota(q *Quota) HandlerOption {
 	return func(s *httpServer) { s.quota = q }
+}
+
+// WithAuth requires a bearer token on every request except GET /v1/healthz.
+// The client name bound to the presented token overwrites X-Client, so quota
+// identity follows the credential rather than a self-reported header.
+func WithAuth(a *Auth) HandlerOption {
+	return func(s *httpServer) { s.auth = a }
+}
+
+// WithPeers lets this shard pull graphs it does not hold from fleet peers
+// (lazy rebalancing after membership changes). Without it a missing graph is
+// simply graph_not_found.
+func WithPeers(p *PeerFetcher) HandlerOption {
+	return func(s *httpServer) { s.peers = p }
 }
 
 // NewHandler builds the HTTP API over e.
@@ -208,14 +223,39 @@ type httpServer struct {
 	e        *Engine
 	store    *GraphStore
 	quota    *Quota
+	auth     *Auth
+	peers    *PeerFetcher
 	mux      *http.ServeMux
 	parseSem chan struct{}
 }
 
-// serve is the entry point: quota admission first, then routing, with the
-// router's own plain-text 404/405 rewritten into the JSON error envelope so
-// clients can rely on one error shape for the entire surface.
+// serve is the entry point: liveness first (unauthenticated, unmetered),
+// then authentication, then quota admission, then routing, with the router's
+// own plain-text 404/405 rewritten into the JSON error envelope so clients
+// can rely on one error shape for the entire surface.
 func (s *httpServer) serve(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/v1/healthz" {
+		// The fleet router probes this to mark shards down/up; it must work
+		// without a token and must not consume quota.
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			writeError(w, http.StatusMethodNotAllowed, "method_not_allowed", "method not allowed for this endpoint")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+	if s.auth != nil {
+		name, ok := s.auth.Identify(r)
+		if !ok {
+			w.Header().Set("WWW-Authenticate", `Bearer realm="partd"`)
+			writeError(w, http.StatusUnauthorized, "unauthorized",
+				"missing or unknown bearer token (send Authorization: Bearer <token>)")
+			return
+		}
+		// Quota identity follows the credential; a self-reported X-Client
+		// cannot borrow another client's bucket.
+		r.Header.Set("X-Client", name)
+	}
 	client := clientID(r)
 	switch r.Method {
 	case http.MethodGet, http.MethodHead:
@@ -365,7 +405,10 @@ func (s *httpServer) handleGraphPut(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, GraphPutResponse{Hash: sg.Hash, Nodes: sg.Nodes, Edges: sg.Edges, Existed: ok})
 }
 
-// handleGraphGet is GET /v1/graphs/{hash}: stored-graph metadata.
+// handleGraphGet is GET /v1/graphs/{hash}: stored-graph metadata, or with
+// ?export= the graph content itself — "bin" is the canonical hash-faithful
+// binary (what peer-fetch transfers), "metis" a human-readable export that
+// drops coordinates.
 func (s *httpServer) handleGraphGet(w http.ResponseWriter, r *http.Request) {
 	hash := r.PathValue("hash")
 	if re := validateGraphRef(hash); re != nil {
@@ -378,7 +421,21 @@ func (s *httpServer) handleGraphGet(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("no stored graph %s (evicted or never uploaded; PUT /v1/graphs to (re)store it)", hash))
 		return
 	}
-	writeJSON(w, http.StatusOK, sg)
+	switch export := r.URL.Query().Get("export"); export {
+	case "":
+		writeJSON(w, http.StatusOK, sg)
+	case "bin":
+		w.Header().Set("Content-Type", "application/x-partd-graph")
+		w.Header().Set("X-Graph-Hash", sg.Hash)
+		_ = WriteGraphBinary(w, sg.Graph) // mid-stream failure means a dead conn; nothing to report
+	case "metis":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Header().Set("X-Graph-Hash", sg.Hash)
+		_ = gio.WriteGraph(gio.FormatMETIS, w, sg.Graph)
+	default:
+		writeError(w, http.StatusBadRequest, "bad_export",
+			fmt.Sprintf("unknown export %q (want bin or metis)", export))
+	}
 }
 
 // handleBatch is POST /v1/jobs: fan a batch of specs out against one stored
@@ -395,6 +452,15 @@ func (s *httpServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	sg, ok := s.store.Get(req.Graph)
+	if !ok && s.peers != nil {
+		// Fleet mode: the hash may live on the shard that owned it before a
+		// membership change. Pull it, store it, and proceed — this is the lazy
+		// rebalance. The fetcher has already verified the content hash.
+		if g, err := s.peers.Fetch(req.Graph); err == nil {
+			sg, _ = s.store.Put(g)
+			ok = sg.Hash == req.Graph
+		}
+	}
 	if !ok {
 		writeError(w, http.StatusNotFound, "graph_not_found",
 			fmt.Sprintf("no stored graph %s (evicted or never uploaded; PUT /v1/graphs to (re)store it)", req.Graph))
@@ -591,11 +657,17 @@ func (s *httpServer) handleAlgos(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *httpServer) handleStats(w http.ResponseWriter, _ *http.Request) {
+	var peer *PeerStats
+	if s.peers != nil {
+		ps := s.peers.Stats()
+		peer = &ps
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
 		Version: APIVersion,
 		Stats:   s.e.Stats(),
 		Store:   s.store.Stats(),
 		Quota:   s.quota.Stats(),
+		Peer:    peer,
 	})
 }
 
@@ -640,3 +712,27 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
+
+// WriteJSON, WriteError, EnvelopeHandler, and ValidateGraphRef are the
+// envelope primitives exported for the fleet router (cmd/partroute), which
+// must speak byte-for-byte the same wire shapes as a shard so clients cannot
+// tell a routed fleet from a single daemon.
+
+// WriteJSON writes v as the API's indented JSON with the given status.
+func WriteJSON(w http.ResponseWriter, status int, v any) { writeJSON(w, status, v) }
+
+// WriteError writes the structured error envelope.
+func WriteError(w http.ResponseWriter, status int, code, message string) {
+	writeError(w, status, code, message)
+}
+
+// EnvelopeHandler wraps h so its mux-generated plain-text 404/405 responses
+// are rewritten into the JSON error envelope.
+func EnvelopeHandler(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&envelopeWriter{rw: w}, r)
+	})
+}
+
+// ValidateGraphRef checks the wire shape of a graph reference; nil means ok.
+func ValidateGraphRef(ref string) *RequestError { return validateGraphRef(ref) }

@@ -38,9 +38,16 @@ func (e *APIError) Error() string {
 }
 
 // IsRetryable reports whether backing off and retrying the same request can
-// succeed: quota and queue refusals are retryable, caller mistakes are not.
+// succeed: quota and queue refusals (429), gateway failures (502), and
+// service unavailability (503) are retryable — the fleet router resolves a
+// down shard to its next replica between attempts — while caller mistakes
+// are not.
 func (e *APIError) IsRetryable() bool {
-	return e.Status == http.StatusTooManyRequests || e.Code == "unavailable"
+	switch e.Status {
+	case http.StatusTooManyRequests, http.StatusBadGateway, http.StatusServiceUnavailable:
+		return true
+	}
+	return e.Code == "unavailable"
 }
 
 // Option configures a Client.
@@ -59,11 +66,46 @@ func WithName(name string) Option {
 	return func(c *Client) { c.name = name }
 }
 
-// Client talks to one partd daemon. It is safe for concurrent use.
+// WithToken sets the bearer token sent with every request. Daemons running
+// with -tokens refuse unauthenticated requests, and the token — not
+// X-Client — then decides quota identity.
+func WithToken(token string) Option {
+	return func(c *Client) { c.token = token }
+}
+
+// RetryPolicy controls automatic retry of failed requests.
+//
+// Two failure classes are retried. Structured refusals whose
+// APIError.IsRetryable is true (quota and queue 429s, gateway 502s,
+// unavailability 503s) are retried for every method: the daemon refused the
+// request without processing it, so resubmission is safe. Transport errors
+// (connection refused, reset) are retried only for idempotent methods — or
+// for POSTs too when RetryPosts is set, which is sound against partd because
+// submissions are content-addressed and coalesce server-side.
+//
+// The delay before attempt n+1 is BaseDelay<<n capped at MaxDelay, raised to
+// the server's Retry-After when one was sent.
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts, including the first (<= 1 disables retry)
+	BaseDelay   time.Duration // first backoff step (0 = 100ms)
+	MaxDelay    time.Duration // backoff cap (0 = 5s)
+	RetryPosts  bool          // retry POSTs on transport errors too
+}
+
+// WithRetry enables automatic retry under p.
+func WithRetry(p RetryPolicy) Option {
+	return func(c *Client) { c.retry = p }
+}
+
+// Client talks to one partd daemon (or a partroute fleet router — the wire
+// surface is identical). It is safe for concurrent use.
 type Client struct {
-	base string
-	name string
-	hc   *http.Client
+	base  string
+	name  string
+	token string
+	retry RetryPolicy
+	hc    *http.Client
+	sleep func(ctx context.Context, d time.Duration) error // test seam
 }
 
 // New builds a client for the daemon at baseURL (e.g. "http://127.0.0.1:8080").
@@ -71,6 +113,16 @@ func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		base: strings.TrimRight(baseURL, "/"),
 		hc:   &http.Client{},
+		sleep: func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		},
 	}
 	for _, o := range opts {
 		o(c)
@@ -78,26 +130,92 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
-// do runs one JSON round trip. A 2xx body decodes into out (when non-nil);
-// anything else decodes the error envelope into an *APIError.
+// do runs one JSON request under the retry policy. A 2xx body decodes into
+// out (when non-nil); anything else decodes the error envelope into an
+// *APIError.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
-	var body io.Reader
+	var body []byte
 	if in != nil {
 		data, err := json.Marshal(in)
 		if err != nil {
 			return fmt.Errorf("client: encoding request: %w", err)
 		}
-		body = bytes.NewReader(data)
+		body = data
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	attempts := c.retry.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.backoff(attempt-1, lastErr)); err != nil {
+				return lastErr // the context died mid-backoff; report the real failure
+			}
+		}
+		err := c.doOnce(ctx, method, path, body, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !c.shouldRetry(method, err) || ctx.Err() != nil {
+			return err
+		}
+	}
+	return lastErr
+}
+
+// shouldRetry classifies one failure under the policy; see RetryPolicy.
+func (c *Client) shouldRetry(method string, err error) bool {
+	if apiErr, ok := err.(*APIError); ok {
+		return apiErr.IsRetryable()
+	}
+	// Transport error: the request may or may not have been processed.
+	switch method {
+	case http.MethodGet, http.MethodHead, http.MethodPut, http.MethodDelete:
+		return true
+	default:
+		return c.retry.RetryPosts
+	}
+}
+
+// backoff computes the pause after the attempt-th try (0-based): exponential
+// from BaseDelay, capped at MaxDelay, raised to the server's Retry-After.
+func (c *Client) backoff(attempt int, err error) time.Duration {
+	base, limit := c.retry.BaseDelay, c.retry.MaxDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	if limit <= 0 {
+		limit = 5 * time.Second
+	}
+	d := base << attempt
+	if d > limit || d <= 0 {
+		d = limit
+	}
+	if apiErr, ok := err.(*APIError); ok && apiErr.RetryAfter > d {
+		d = apiErr.RetryAfter
+	}
+	return d
+}
+
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
 		return fmt.Errorf("client: %w", err)
 	}
-	if in != nil {
+	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	if c.name != "" {
 		req.Header.Set("X-Client", c.name)
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

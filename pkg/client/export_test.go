@@ -1,0 +1,10 @@
+package client
+
+import (
+	"context"
+	"time"
+)
+
+// SetSleep replaces the backoff sleeper so retry tests can record the exact
+// delays the policy chose without actually waiting them out.
+func (c *Client) SetSleep(f func(context.Context, time.Duration) error) { c.sleep = f }

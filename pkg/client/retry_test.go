@@ -1,0 +1,181 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+	"repro/pkg/client"
+)
+
+// recordSleeps wires a no-op sleeper into c that records each backoff.
+func recordSleeps(c *client.Client) *[]time.Duration {
+	var slept []time.Duration
+	c.SetSleep(func(_ context.Context, d time.Duration) error {
+		slept = append(slept, d)
+		return nil
+	})
+	return &slept
+}
+
+// A 429 with Retry-After stretches the backoff to the server's ask.
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			service.WriteError(w, http.StatusTooManyRequests, "quota_exceeded", "over quota")
+			return
+		}
+		service.WriteJSON(w, http.StatusOK, service.StatsResponse{Version: service.APIVersion})
+	}))
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond}))
+	slept := recordSleeps(c)
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("stats after retries: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d requests, want 3", calls.Load())
+	}
+	want := []time.Duration{3 * time.Second, 3 * time.Second}
+	if len(*slept) != len(want) || (*slept)[0] != want[0] || (*slept)[1] != want[1] {
+		t.Fatalf("backoffs %v, want %v (Retry-After must override the base delay)", *slept, want)
+	}
+}
+
+// Caller mistakes (4xx other than 429) fail immediately: no retry can fix a
+// bad request.
+func TestNoRetryOnCallerError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		service.WriteError(w, http.StatusBadRequest, "bad_graph_ref", "nope")
+	}))
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{MaxAttempts: 5}))
+	recordSleeps(c)
+	_, err := c.Graph(context.Background(), "sha256:junk")
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != "bad_graph_ref" {
+		t.Fatalf("err = %v", err)
+	}
+	if apiErr.IsRetryable() {
+		t.Fatal("400 reported as retryable")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d requests, want 1", calls.Load())
+	}
+}
+
+// A connection-level failure on an idempotent request retries and recovers —
+// the shape of routing through a router whose shard just went down.
+func TestTransportErrorRetriesIdempotent(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			panic(http.ErrAbortHandler) // kill the connection mid-request
+		}
+		service.WriteJSON(w, http.StatusOK, service.StatsResponse{Version: service.APIVersion})
+	}))
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}))
+	recordSleeps(c)
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("stats after transport retry: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("server saw %d requests, want 2", calls.Load())
+	}
+}
+
+// POSTs are not retried on transport errors unless the caller opts in:
+// the client cannot know whether the submission was processed.
+func TestTransportErrorPostPolicy(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		panic(http.ErrAbortHandler)
+	}))
+	t.Cleanup(ts.Close)
+
+	specs := []service.JobSpec{{Algo: "kl", Parts: 2}}
+	hash := "sha256:0000000000000000000000000000000000000000000000000000000000000000"
+
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}))
+	recordSleeps(c)
+	if _, err := c.SubmitBatch(context.Background(), hash, specs); err == nil {
+		t.Fatal("submit against aborting server succeeded")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("POST retried on transport error: %d calls", calls.Load())
+	}
+
+	calls.Store(0)
+	c = client.New(ts.URL, client.WithRetry(client.RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, RetryPosts: true}))
+	recordSleeps(c)
+	if _, err := c.SubmitBatch(context.Background(), hash, specs); err == nil {
+		t.Fatal("submit against aborting server succeeded")
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("POST with RetryPosts saw %d calls, want 3", calls.Load())
+	}
+}
+
+// Retryable 503s back off exponentially from BaseDelay up to MaxDelay.
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		service.WriteError(w, http.StatusServiceUnavailable, "unavailable", "not yet")
+	}))
+	t.Cleanup(ts.Close)
+
+	c := client.New(ts.URL, client.WithRetry(client.RetryPolicy{
+		MaxAttempts: 5, BaseDelay: 100 * time.Millisecond, MaxDelay: 400 * time.Millisecond,
+	}))
+	slept := recordSleeps(c)
+	_, err := c.Stats(context.Background())
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v", err)
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond, 400 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("backoffs %v, want %v", *slept, want)
+	}
+	for i := range want {
+		if (*slept)[i] != want[i] {
+			t.Fatalf("backoffs %v, want %v", *slept, want)
+		}
+	}
+}
+
+// WithToken authenticates against a -tokens daemon, and the token identity
+// drives quota accounting through the typed client.
+func TestClientTokenAuth(t *testing.T) {
+	auth, err := service.NewAuth(map[string]string{"tok-z": "zoe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := newDaemon(t, service.WithAuth(auth))
+
+	if _, err := client.New(ts.URL).Stats(context.Background()); err == nil {
+		t.Fatal("unauthenticated stats succeeded against an authed daemon")
+	}
+	st, err := client.New(ts.URL, client.WithToken("tok-z")).Stats(context.Background())
+	if err != nil {
+		t.Fatalf("authenticated stats: %v", err)
+	}
+	if st.Version != service.APIVersion {
+		t.Fatalf("version %q", st.Version)
+	}
+}
