@@ -17,6 +17,7 @@ import (
 	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/multilevel"
 	"repro/internal/partition"
 )
 
@@ -52,6 +53,14 @@ type Options struct {
 	// disables label propagation so every level uses the configured
 	// refiner.
 	LPThreshold int
+	// FMParThreshold switches multilevel uncoarsening levels with at least
+	// this many nodes from the serial FM heap pass to the
+	// deterministic-parallel colored schedule (fm.RefineEvalPar), which fans
+	// the gain evaluation out over Workers without giving up the Workers
+	// bit-identity contract. 0 = the multilevel default (50k nodes);
+	// negative pins every level to the serial pass. Result-affecting: the
+	// two passes are distinct deterministic algorithms.
+	FMParThreshold int
 	// Workers bounds the goroutines the parallel phases may use: the
 	// multilevel pipeline's coarsening/contraction AND its uncoarsening
 	// (projection, boundary rebuilds, colored refinement), plus the flat
@@ -79,6 +88,12 @@ type Options struct {
 	// spectral algorithms run to completion regardless; they are fast and
 	// have no safe mid-run checkpoint. Never part of any cache key.
 	Ctx context.Context
+
+	// MultilevelStats, when non-nil, receives the phase timing/allocation
+	// breakdown of a multilevel run (the benchmark harness uses it to
+	// attribute refine wall time per refiner family). Output-only: it never
+	// affects the partition and is never part of any cache key.
+	MultilevelStats *multilevel.Stats
 }
 
 // stop converts Ctx into the stop-polling callback the iterative packages

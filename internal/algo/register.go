@@ -194,15 +194,17 @@ func registerMultilevel(name, innerName string, refiner multilevel.Refiner, info
 			return Run(cg, innerName, io)
 		}
 		return multilevel.Partition(g, multilevel.Config{
-			Parts:        opt.Parts,
-			CoarsestSize: opt.CoarsestSize,
-			RefinePasses: opt.RefinePasses,
-			Refiner:      refiner,
-			LPThreshold:  opt.LPThreshold,
-			Workers:      opt.Workers,
-			Objective:    opt.Objective,
-			Seed:         opt.Seed,
-			Stop:         opt.stop(),
+			Parts:          opt.Parts,
+			CoarsestSize:   opt.CoarsestSize,
+			RefinePasses:   opt.RefinePasses,
+			Refiner:        refiner,
+			LPThreshold:    opt.LPThreshold,
+			FMParThreshold: opt.FMParThreshold,
+			Workers:        opt.Workers,
+			Objective:      opt.Objective,
+			Seed:           opt.Seed,
+			Stats:          opt.MultilevelStats,
+			Stop:           opt.stop(),
 		}, inner)
 	}))
 }

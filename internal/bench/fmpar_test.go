@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// loadFMParArtifact reads the committed parallel-FM report: the fmpar suite
+// (scale100k + scale1M RGG) run width-labeled at Workers 1 and 4, the
+// acceptance artifact of the colored-schedule FM work.
+func loadFMParArtifact(t *testing.T) *Report {
+	t.Helper()
+	f, err := os.Open("../../bench/BENCH_fmpar.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// The committed artifact must carry both widths of multilevel-fm for both
+// fmpar cases, with identical quality across widths (the bit-identity
+// contract, frozen into the artifact) and a populated FM-phase breakdown
+// (the number the speedup claim is read from). Regenerating the artifact
+// with a width leak or with the stats plumbing disconnected fails here, not
+// in review.
+func TestFMParArtifactWidthsAndBreakdown(t *testing.T) {
+	rep := loadFMParArtifact(t)
+
+	type key struct{ c, a string }
+	res := map[key]Result{}
+	for _, r := range rep.Results {
+		if r.Error != "" {
+			t.Fatalf("%s/%s errored: %s", r.Case, r.Algo, r.Error)
+		}
+		res[key{r.Case, r.Algo}] = r
+	}
+	for _, c := range []string{"rgg-100000-p8", "rgg-1000000-p8"} {
+		w1, ok1 := res[key{c, "multilevel-fm@w1"}]
+		w4, ok4 := res[key{c, "multilevel-fm@w4"}]
+		if !ok1 || !ok4 {
+			t.Fatalf("%s: artifact missing a width row (w1=%v w4=%v)", c, ok1, ok4)
+		}
+		if w1.Workers != 1 || w4.Workers != 4 {
+			t.Errorf("%s: workers fields %d/%d, want 1/4", c, w1.Workers, w4.Workers)
+		}
+		if w1.Cut != w4.Cut || w1.MaxPartCut != w4.MaxPartCut || w1.Balance != w4.Balance {
+			t.Errorf("%s: quality differs across widths: cut %v/%v maxcut %v/%v balance %v/%v",
+				c, w1.Cut, w4.Cut, w1.MaxPartCut, w4.MaxPartCut, w1.Balance, w4.Balance)
+		}
+		for _, r := range []Result{w1, w4} {
+			if r.RefineFMNS <= 0 {
+				t.Errorf("%s/%s: refine_fm_ns not populated", c, r.Algo)
+			}
+			if r.RefineNS < r.RefineFMNS+r.RefineClimbNS+r.RefineLPNS {
+				t.Errorf("%s/%s: refine breakdown exceeds refine_ns total", c, r.Algo)
+			}
+		}
+	}
+	// Every row of this artifact is width-labeled; an unlabeled row would
+	// silently collide with the plain suites' comparison keys.
+	for _, r := range rep.Results {
+		if !strings.Contains(r.Algo, "@w") {
+			t.Errorf("unlabeled algo %q in fmpar artifact", r.Algo)
+		}
+	}
+}

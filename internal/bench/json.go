@@ -12,6 +12,7 @@ import (
 	"repro/internal/algo"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/multilevel"
 	"repro/internal/partition"
 )
 
@@ -52,9 +53,24 @@ type Result struct {
 	// count) and never gated exactly, but unlike wall time they are stable
 	// enough to hold to a coarse ratio. Omitted (zero) in pre-instrumentation
 	// baselines, which therefore parse and compare unchanged.
-	BytesAlloc int64  `json:"bytes_alloc,omitempty"`
-	Allocs     int64  `json:"allocs,omitempty"`
-	Error      string `json:"error,omitempty"` // non-empty if the algorithm rejected the case
+	BytesAlloc int64 `json:"bytes_alloc,omitempty"`
+	Allocs     int64 `json:"allocs,omitempty"`
+	// Workers is the execution width the measurement was pinned to; omitted
+	// (zero) when the runner left it auto. The width-labeled reports
+	// (RunJSONWidths) pin it alongside the "@wN" algo label, which is what
+	// makes a committed width-vs-width artifact self-describing.
+	Workers int `json:"workers,omitempty"`
+	// The refine_*_ns fields break a multilevel run's refine phase down by
+	// refiner family (multilevel.Stats of the last measured run): total,
+	// label-propagation sweeps, KL colored climbs + rebalance, and FM
+	// passes. Omitted (zero) for non-multilevel algorithms and for
+	// pre-instrumentation baselines; like every timing field they are
+	// environment-dependent and never gated.
+	RefineNS      int64  `json:"refine_ns,omitempty"`
+	RefineLPNS    int64  `json:"refine_lp_ns,omitempty"`
+	RefineClimbNS int64  `json:"refine_climb_ns,omitempty"`
+	RefineFMNS    int64  `json:"refine_fm_ns,omitempty"`
+	Error         string `json:"error,omitempty"` // non-empty if the algorithm rejected the case
 }
 
 // Metric returns the result's value of the objective it optimized — Cut for
@@ -174,6 +190,20 @@ func Scale1MSuite() []Case {
 	}
 }
 
+// FMParSuite is the parallel-FM measurement pair: the scale100k and scale1M
+// RGG cases (same generators and seeds, so cuts are comparable across
+// artifacts), both above DefaultFMParThreshold so multilevel-fm refines
+// through the deterministic-parallel colored schedule on every uncoarsened
+// level that matters. The committed BENCH_fmpar.json runs it width-labeled
+// (RunJSONWidths, Workers 1 vs 4): the @w1/@w4 rows pin cross-width cut
+// identity and record the refine_fm_ns breakdown the speedup claim reads.
+func FMParSuite() []Case {
+	return []Case{
+		{Name: "rgg-100000-p8", Graph: gen.RandomGeometric(rand.New(rand.NewSource(gen.SuiteSeed+100000)), 100000, 0.005), Parts: 8},
+		{Name: "rgg-1000000-p8", Graph: gen.RandomGeometric(rand.New(rand.NewSource(gen.SuiteSeed+1000000)), 1000000, 0.0016), Parts: 8},
+	}
+}
+
 // Scale10MSuite is the ten-million-node stretch case. It is never gated in
 // per-push CI — only the scheduled benchtrend workflow runs it — so there is
 // no committed baseline; the point is a long-horizon trend line at the scale
@@ -201,8 +231,10 @@ func SuiteByName(name string) ([]Case, error) {
 		return DiverseSuite(), nil
 	case "weighted":
 		return WeightedSuite(), nil
+	case "fmpar":
+		return FMParSuite(), nil
 	default:
-		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale, scale100k, scale1M, scale10M, diverse, weighted)", name)
+		return nil, fmt.Errorf("bench: unknown suite %q (available: small, scale, scale100k, scale1M, scale10M, diverse, weighted, fmpar)", name)
 	}
 }
 
@@ -247,6 +279,12 @@ func RunJSON(suiteName string, cases []Case, algos []string, opt algo.Options, r
 			}
 			o := opt
 			o.Parts = c.Parts
+			// Phase attribution rides along on every run: multilevel writes
+			// the breakdown, everything else ignores the sink and the fields
+			// stay zero (omitted). Repeated runs overwrite it, so the report
+			// carries the last run's breakdown — one op, like NsPerOp.
+			var mstats multilevel.Stats
+			o.MultilevelStats = &mstats
 			var msBefore, msAfter runtime.MemStats
 			runtime.ReadMemStats(&msBefore)
 			start := time.Now()
@@ -258,6 +296,11 @@ func RunJSON(suiteName string, cases []Case, algos []string, opt algo.Options, r
 			runtime.ReadMemStats(&msAfter)
 			res.NsPerOp = res.WallNS / int64(repeat)
 			res.Repeat = repeat
+			res.Workers = opt.Workers
+			res.RefineNS = mstats.Refine.Nanoseconds()
+			res.RefineLPNS = mstats.RefineLP.Nanoseconds()
+			res.RefineClimbNS = mstats.RefineClimb.Nanoseconds()
+			res.RefineFMNS = mstats.RefineFM.Nanoseconds()
 			// TotalAlloc/Mallocs are monotonic, so the delta is exactly what
 			// the measured runs allocated (GC frees never subtract from it).
 			res.BytesAlloc = int64(msAfter.TotalAlloc-msBefore.TotalAlloc) / int64(repeat)
@@ -278,6 +321,32 @@ func RunJSON(suiteName string, cases []Case, algos []string, opt algo.Options, r
 				res.Balance = maxW / ideal
 			}
 			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep
+}
+
+// RunJSONWidths measures the suite once per worker width — pinning Workers
+// and EvalWorkers — and labels each result's algo "<name>@w<N>", so the
+// (case, algo, objective)-keyed comparison gates treat every width as its
+// own series. The bit-identity contract makes the @wN rows of one algo carry
+// identical quality metrics (anything else is a determinism bug — the fmpar
+// runner enforces it); what differs, and what this report exists to archive,
+// is the timing and phase-breakdown columns.
+func RunJSONWidths(suiteName string, cases []Case, algos []string, opt algo.Options, repeat int, widths []int) *Report {
+	var rep *Report
+	for _, w := range widths {
+		o := opt
+		o.Workers = w
+		o.EvalWorkers = w
+		r := RunJSON(suiteName, cases, algos, o, repeat)
+		for i := range r.Results {
+			r.Results[i].Algo = fmt.Sprintf("%s@w%d", r.Results[i].Algo, w)
+		}
+		if rep == nil {
+			rep = r
+		} else {
+			rep.Results = append(rep.Results, r.Results...)
 		}
 	}
 	return rep

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/kl"
 	"repro/internal/par"
 	"repro/internal/partition"
 )
@@ -176,6 +177,26 @@ type scratch struct {
 	seedGain  []float64 // ... and its gain (-1 destination = no candidate)
 	seeds     []int     // boundary snapshot buffer, one per pass
 	cuts      []float64 // WorstCut: tentative per-part cuts along the pass's move sequence
+
+	// Parallel-pass (RefineEvalPar) state, grown by growPar only when the
+	// parallel refiner runs; see fmpar.go. The generation counters are
+	// monotonic for the same reason pass is: stale marks — even ones
+	// uncovered by regrowth — can never equal a future generation.
+	classes   kl.Classes          // per-round coloring of the frontier
+	merger    par.Merger[parCand] // per-class deterministic candidate merge
+	frontier  []int               // current round's eligible nodes, ascending
+	next      []int               // next round's frontier under construction
+	nextMark  []int32             // nextMark[v] == nextGen: already in next
+	nextGen   int32
+	movedV    []int32 // nodes committed by the current class batch
+	movedMark []int32 // movedMark[v] == movedGen: v moved in this batch
+	movedGen  int32
+	movedFrom []uint16 // the batch's move endpoints, keyed by node
+	movedTo   []uint16
+	affected  []int32 // movers' neighbors with live rows, dedup'd per batch
+	affMark   []int32 // affMark[v] == affGen: already in affected
+	affGen    int32
+	sizes     []int // live part sizes along the parallel pass
 }
 
 func newScratch(n, parts int) *scratch {
@@ -219,11 +240,104 @@ func (s *scratch) grow(n, parts int) {
 	}
 }
 
+// ensureConn materializes v's connectivity row against work's assignment:
+// computed (and its stale contents zeroed) on first touch in a pass, updated
+// incrementally afterwards. It writes only v-owned state (the row and its
+// pass stamp), so concurrent calls on distinct nodes are safe.
+func (s *scratch) ensureConn(g *graph.Graph, work *partition.Partition, parts, v int) {
+	if s.connPass[v] == s.pass {
+		return
+	}
+	s.connPass[v] = s.pass
+	row := s.conn[v*parts : (v+1)*parts]
+	for q := range row {
+		row[q] = 0
+	}
+	ws := g.EdgeWeights(v)
+	for i, u := range g.Neighbors(v) {
+		row[work.Assign[u]] += ws[i]
+	}
+}
+
+// bestOf scans v's (already materialized) connectivity row for the best
+// candidate move — shared by the serial pass's heap traffic and the parallel
+// pass's candidate evaluation, so the candidate-selection rules exist exactly
+// once.
+func (s *scratch) bestOf(work *partition.Partition, parts, v int) (int32, float64) {
+	from := int(work.Assign[v])
+	row := s.conn[v*parts : (v+1)*parts]
+	base := row[from]
+	bestTo, bestGain := int32(-1), math.Inf(-1)
+	for q := 0; q < parts; q++ {
+		if q == from || row[q] == 0 {
+			continue // only move toward parts v touches (boundary moves)
+		}
+		if gainQ := row[q] - base; gainQ > bestGain {
+			bestTo, bestGain = int32(q), gainQ
+		}
+	}
+	return bestTo, bestGain
+}
+
 // move is one entry of the FM move log.
 type move struct {
 	v        int
 	from, to int
 	gain     float64
+}
+
+// runningMax tracks max(0, max_q cuts[q]) across incremental updates — the
+// quantity WorstCut scoring charges each applied move with — in O(1) per
+// update instead of the two O(parts) full scans per move the scoring
+// historically paid. It keeps the current maximum and how many entries sit
+// exactly at it; only when the unique maximum decreases does it rescan, so a
+// pass's total rescan work is bounded by the moves that actually lower the
+// worst part (the ones the objective is hunting). All comparisons are the
+// scan's own float comparisons on the same values, so the tracked max — and
+// with it every move's score and the kept prefix — is bit-identical to the
+// scanned one.
+type runningMax struct {
+	max  float64 // current max over the entries (not clamped)
+	nMax int     // entries equal to max
+}
+
+func (m *runningMax) reset(cuts []float64) {
+	m.max, m.nMax = math.Inf(-1), 0
+	for _, c := range cuts {
+		if c > m.max {
+			m.max, m.nMax = c, 1
+		} else if c == m.max {
+			m.nMax++
+		}
+	}
+}
+
+// apply adds d to cuts[q] and restores the max invariant.
+func (m *runningMax) apply(cuts []float64, q int, d float64) {
+	old := cuts[q]
+	now := old + d
+	cuts[q] = now
+	if old == m.max {
+		m.nMax--
+	}
+	if now > m.max {
+		m.max, m.nMax = now, 1
+	} else if now == m.max {
+		m.nMax++
+	}
+	if m.nMax == 0 {
+		m.reset(cuts)
+	}
+}
+
+// cur returns the tracked maximum with the historical scan's floor: the scan
+// accumulated into a 0.0 start, so an all-below-zero (or empty) cut vector
+// reads as 0.
+func (m *runningMax) cur() float64 {
+	if m.max > 0 {
+		return m.max
+	}
+	return 0
 }
 
 // cand is a prioritized candidate move.
@@ -309,20 +423,7 @@ func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize
 	s.pass++
 	work := s.work
 	copy(work.Assign, p.Assign)
-	ensureConn := func(v int) {
-		if s.connPass[v] == s.pass {
-			return
-		}
-		s.connPass[v] = s.pass
-		row := s.conn[v*parts : (v+1)*parts]
-		for q := range row {
-			row[q] = 0
-		}
-		ws := g.EdgeWeights(v)
-		for i, u := range g.Neighbors(v) {
-			row[work.Assign[u]] += ws[i]
-		}
-	}
+	ensureConn := func(v int) { s.ensureConn(g, work, parts, v) }
 	sizes := p.PartSizes()
 	locked := func(v int) bool { return s.lockPass[v] == s.pass }
 	// stamp values restart at 0 each pass; the reset is lazy (stamped with
@@ -341,36 +442,18 @@ func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize
 
 	h := &s.heap
 	*h = (*h)[:0]
-	// bestOf scans v's (already materialized) connectivity row for the best
-	// candidate move — shared by the parallel seeding and the in-pass
-	// re-pushes, so the candidate-selection rules exist exactly once.
-	bestOf := func(v int) (int32, float64) {
-		from := int(work.Assign[v])
-		row := s.conn[v*parts : (v+1)*parts]
-		base := row[from]
-		bestTo, bestGain := int32(-1), math.Inf(-1)
-		for q := 0; q < parts; q++ {
-			if q == from || row[q] == 0 {
-				continue // only move toward parts v touches (boundary moves)
-			}
-			if gainQ := row[q] - base; gainQ > bestGain {
-				bestTo, bestGain = int32(q), gainQ
-			}
-		}
-		return bestTo, bestGain
-	}
 	pushBest := func(v int) {
 		ensureConn(v)
-		if to, gain := bestOf(v); to >= 0 {
+		if to, gain := s.bestOf(work, parts, v); to >= 0 {
 			h.push(cand{v: v, to: int(to), gain: gain, stamp: stampOf(v)})
 		}
 	}
 	// seedBest is pushBest's scan without the push, for the parallel
-	// seeding phase: ensureConn writes only v-owned state (the row and its
-	// pass stamp), so concurrent calls on distinct nodes are safe.
+	// seeding phase: ensureConn and bestOf touch only v-owned state, so
+	// concurrent calls on distinct nodes are safe.
 	seedBest := func(v int) (int32, float64) {
 		ensureConn(v)
-		return bestOf(v)
+		return s.bestOf(work, parts, v)
 	}
 	if ev.TracksBoundary() {
 		s.seeds = ev.AppendBoundary(s.seeds)
@@ -408,9 +491,11 @@ func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize
 	// C(from) and C(to) change on a move — v's cut edges into any third part
 	// stay cut on both sides.
 	var cuts []float64
+	var cmax runningMax
 	if o == partition.WorstCut {
 		cuts = append(s.cuts[:0], ev.Cuts...)
 		s.cuts = cuts
+		cmax.reset(cuts)
 	}
 	for len(*h) > 0 {
 		c := h.pop()
@@ -456,21 +541,10 @@ func onePass(g *graph.Graph, p *partition.Partition, ev *partition.Eval, minSize
 			wOther := rowSum - wFrom - wTo
 			dFrom := wFrom - wTo - wOther
 			dTo := wFrom - wTo + wOther
-			curMax := 0.0
-			for _, cut := range cuts {
-				if cut > curMax {
-					curMax = cut
-				}
-			}
-			cuts[from] += dFrom
-			cuts[c.to] += dTo
-			newMax := 0.0
-			for _, cut := range cuts {
-				if cut > newMax {
-					newMax = cut
-				}
-			}
-			cum += curMax - newMax
+			curMax := cmax.cur()
+			cmax.apply(cuts, from, dFrom)
+			cmax.apply(cuts, c.to, dTo)
+			cum += curMax - cmax.cur()
 		} else {
 			cum += c.gain
 		}

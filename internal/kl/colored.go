@@ -12,15 +12,16 @@
 // can change another member's neighborhood. That makes the expensive
 // per-node work — the O(deg) scan producing each member's candidate parts
 // and cut deltas — a pure function of the class-start state, evaluated in
-// parallel over par-owned index ranges. Commits then replay serially in
-// ascending node order within the class, folding each candidate's cut
-// deltas with the *current* part weights (and cuts), so a class sweep is
-// exactly a serial sweep of its members and a move is taken only if it
-// strictly improves the fitness at commit time; the partition.Eval
-// aggregates stay exact move by move.
+// parallel over par-owned index ranges. Commits then replay serially within
+// the class in descending provisional-gain order (biggest class-start winner
+// first, ascending node id on ties), folding each candidate's cut deltas
+// with the *current* part weights (and cuts), so a class sweep is exactly a
+// serial sweep of its members and a move is taken only if it strictly
+// improves the fitness at commit time; the partition.Eval aggregates stay
+// exact move by move.
 //
 // The whole climb is therefore the serial climb run over a deterministic
-// permutation of each pass's boundary — (tile, color, index) order instead
+// permutation of each pass's boundary — (tile, color, gain) order instead
 // of pure index order — which preserves its properties (monotone fitness,
 // convergence to a single-move local optimum; at tile size 1 it IS the
 // serial climb bit for bit) while exposing class-sized batches of gain
@@ -32,6 +33,8 @@
 package kl
 
 import (
+	"math"
+	"sort"
 	"sync"
 
 	"repro/internal/graph"
@@ -47,8 +50,9 @@ import (
 // returns the number of moves made. A nil ev is rebuilt from p; boundary
 // tracking is enabled on ev if it is not already.
 //
-// The visit order within a pass is (tile, color class, ascending node id)
-// rather than the serial climb's pure ascending order, so the two climbers
+// The visit order within a pass is (tile, color class, descending
+// provisional gain) rather than the serial climb's pure ascending order, so
+// the two climbers
 // are distinct (deterministic) algorithms that converge to local optima of
 // equal character but not necessarily bit-equal partitions. The GA's
 // offspring climbing keeps the serial sweep; the multilevel uncoarsening
@@ -147,20 +151,18 @@ type colorClimber struct {
 	avg     float64
 	workers int
 
-	bIndex    []int32 // graph node -> 1 + position in the current tile; 0 = absent
-	members   []int32 // tile nodes grouped by color, ascending within a class
-	classOff  []int32 // members[classOff[c]:classOff[c+1]] = class c
-	classFill []int32 // counting-sort fill cursor per class
+	classes Classes // per-tile coloring + class grouping (shared with package fm)
 
-	off     []int32 // candidate range start per class member (degree-prefix)
-	cnt     []int32 // candidates actually produced
-	wFrom   []float64
-	wTot    []float64
-	cands   []moveCand
-	scratch []classScratch
+	off      []int32 // candidate range start per class member (degree-prefix)
+	cnt      []int32 // candidates actually produced
+	wFrom    []float64
+	wTot     []float64
+	provGain []float64 // provisional best gain per member vs class-start state
+	order    []int32   // class commit order (provisional gain desc, id asc)
+	cands    []moveCand
+	scratch  []classScratch
 
-	bsnap  []int            // per-pass boundary snapshot buffer
-	colors par.ColorScratch // per-tile coloring buffers
+	bsnap []int // per-pass boundary snapshot buffer
 }
 
 // tileSize is the number of consecutive boundary nodes one colored tile
@@ -185,9 +187,6 @@ func (c *colorClimber) pass() int {
 	if len(b) == 0 {
 		return 0
 	}
-	if len(c.bIndex) < c.g.NumNodes() {
-		c.bIndex = make([]int32, c.g.NumNodes())
-	}
 	moves := 0
 	for lo := 0; lo < len(b); lo += tileSize {
 		hi := lo + tileSize
@@ -204,63 +203,36 @@ func (c *colorClimber) pass() int {
 // evaluated concurrently (tiles run sequentially), so only intra-tile
 // adjacency needs coloring.
 func (c *colorClimber) sweepTile(tile []int) int {
-	for i, v := range tile {
-		c.bIndex[v] = int32(i + 1)
-	}
-	colors := c.colors.Color(c.workers, len(tile), func(i int, visit func(u int)) {
-		for _, u := range c.g.Neighbors(tile[i]) {
-			if j := c.bIndex[u]; j > 0 {
-				visit(int(j - 1))
-			}
-		}
-	})
-	nColors := 0
-	for _, cl := range colors {
-		if int(cl) >= nColors {
-			nColors = int(cl) + 1
-		}
-	}
-	// Group the tile by color with a counting sort; iterating the
-	// (ascending) tile in order keeps each class internally ascending.
-	c.classOff = ensureInt32(c.classOff, nColors+1)
-	for i := range c.classOff {
-		c.classOff[i] = 0
-	}
-	for _, cl := range colors {
-		c.classOff[cl+1]++
-	}
-	for cl := 0; cl < nColors; cl++ {
-		c.classOff[cl+1] += c.classOff[cl]
-	}
-	c.members = ensureInt32(c.members, len(tile))
-	c.classFill = ensureInt32(c.classFill, nColors)
-	for i := range c.classFill {
-		c.classFill[i] = 0
-	}
-	for i, v := range tile {
-		cl := colors[i]
-		c.members[c.classOff[cl]+c.classFill[cl]] = int32(v)
-		c.classFill[cl]++
-	}
-	for _, v := range tile {
-		c.bIndex[v] = 0
-	}
+	members, off := c.classes.Group(c.g, tile, c.workers)
 	moves := 0
-	for cl := 0; cl < nColors; cl++ {
-		moves += c.sweepClass(c.members[c.classOff[cl]:c.classOff[cl+1]])
+	for cl := 0; cl < len(off)-1; cl++ {
+		moves += c.sweepClass(members[off[cl]:off[cl+1]])
 	}
 	return moves
 }
 
 // sweepClass evaluates every class member's candidate moves in parallel
 // against the class-start state, then commits strictly-improving moves
-// serially in ascending node order.
+// serially in descending provisional-gain order (ascending node id on ties).
+//
+// The provisional gain — each member's best gain against the class-start
+// aggregates — is computed in the same parallel phase as the candidate
+// weights, so ordering by it costs no extra serial work, and it is a pure
+// function of class-start state, so the commit order is width-independent
+// like everything else here. Committing big winners first harvests more of
+// a class's gain before the members' moves interact (the same greedy order
+// FM's heap imposes globally); commitBest still re-evaluates every candidate
+// against the live aggregates at its commit slot, so correctness and the
+// strict-improvement rule are unchanged — only the order in which members
+// get their slot.
 func (c *colorClimber) sweepClass(members []int32) int {
 	m := len(members)
 	c.off = ensureInt32(c.off, m+1)
 	c.cnt = ensureInt32(c.cnt, m)
 	c.wFrom = ensureFloat(c.wFrom, m)
 	c.wTot = ensureFloat(c.wTot, m)
+	c.provGain = ensureFloat(c.provGain, m)
+	c.order = ensureInt32(c.order, m)
 	c.off[0] = 0
 	for j, v := range members {
 		c.off[j+1] = c.off[j] + int32(len(c.g.Neighbors(int(v))))
@@ -318,11 +290,37 @@ func (c *colorClimber) sweepClass(members []int32) int {
 			c.cnt[j] = k
 			c.wFrom[j] = wf
 			c.wTot[j] = wt
+			// Provisional best gain vs the class-start aggregates (ev is
+			// read-only during the parallel phase), for the commit order.
+			best := math.Inf(-1)
+			for t := int32(0); t < k; t++ {
+				cd := c.cands[base+int(t)]
+				wOther := wt - wf - cd.wTo
+				if fit := c.ev.MoveGainFromWeights(c.g, c.p, c.o, c.avg, v, int(cd.to), wf, cd.wTo, wOther); fit > best {
+					best = fit
+				}
+			}
+			c.provGain[j] = best
 		}
 	})
+	// Commit order: provisional gain descending, node id ascending on ties.
+	// Members are ascending within a class, so comparing the j indices is the
+	// id tie-break; the order is total (indices are distinct), hence one
+	// fixed point for the sort and any width.
+	order := c.order[:m]
+	for j := range order {
+		order[j] = int32(j)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := order[a], order[b]
+		if c.provGain[ja] != c.provGain[jb] {
+			return c.provGain[ja] > c.provGain[jb]
+		}
+		return ja < jb
+	})
 	moves := 0
-	for j := 0; j < m; j++ {
-		if c.commitBest(j, int(members[j])) {
+	for _, j := range order {
+		if c.commitBest(int(j), int(members[j])) {
 			moves++
 		}
 	}

@@ -248,6 +248,18 @@ type Config struct {
 	// refiner honors the same Workers bit-identity contract and Stop
 	// polling as the KL/FM path.
 	LPThreshold int
+	// FMParThreshold is the node count at or above which a level's FM
+	// refinement runs the deterministic-parallel colored schedule
+	// (fm.RefineEvalPar) instead of the serial heap pass: the per-move gain
+	// evaluation — FM's dominant cost on big levels — fans out over Workers
+	// while the schedule itself stays a pure function of the level's state,
+	// so the Workers bit-identity contract holds unchanged. Below the
+	// threshold the serial pass wins (coloring and merging overhead beats
+	// the heap only once levels are large). 0 selects DefaultFMParThreshold
+	// (50k nodes); negative disables the switch at every size. The two
+	// passes are distinct deterministic algorithms: flipping the threshold
+	// changes cuts (comparably good), never determinism.
+	FMParThreshold int
 	// Stats, when non-nil, receives the run's phase timings.
 	Stats *Stats
 	// Stop, when non-nil, requests cooperative cancellation: it is polled
@@ -274,6 +286,14 @@ type Stats struct {
 	Project     time.Duration // assignment projection + boundary rebuilds
 	Refine      time.Duration // per-level refinement (climb, FM, rebalance)
 
+	// Refine broken down by refiner family, so benchmarks can attribute the
+	// uncoarsening wall time to the label-propagation sweeps, the KL colored
+	// climbs (including rebalance), and the FM passes individually. The three
+	// sum to slightly less than Refine (loop overhead is unattributed).
+	RefineLP    time.Duration // lp.RefineEval above LPThreshold
+	RefineClimb time.Duration // kl climbs + rebalance
+	RefineFM    time.Duration // fm.RefineEval / fm.RefineEvalPar
+
 	CoarsenBytes     uint64 // bytes allocated during hierarchy construction
 	CoarseSolveBytes uint64 // ... during the coarse solve
 	ProjectBytes     uint64 // ... during projection + boundary rebuilds
@@ -285,6 +305,13 @@ type Stats struct {
 // committed sub-million benchmark case (the largest is 100k nodes), so the
 // default-path cuts of all existing baselines are untouched.
 const DefaultLPThreshold = 250_000
+
+// DefaultFMParThreshold is the node count at which Config.FMParThreshold == 0
+// switches a level's FM refinement to the deterministic-parallel colored
+// schedule. At 50k nodes the parallel pass's coloring/merge overhead is well
+// amortized by the fanned-out gain evaluation; the scale100k and scale1M
+// benchmark tiers cross it, the small diverse/weighted tiers do not.
+const DefaultFMParThreshold = 50_000
 
 func (c *Config) withDefaults() Config {
 	out := *c
@@ -299,6 +326,9 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.LPThreshold == 0 {
 		out.LPThreshold = DefaultLPThreshold
+	}
+	if out.FMParThreshold == 0 {
+		out.FMParThreshold = DefaultFMParThreshold
 	}
 	return out
 }
@@ -523,6 +553,26 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 		alloc = allocSnap(meter)
 		stopped := c.Stop != nil && c.Stop()
 		useLP := c.LPThreshold > 0 && n >= c.LPThreshold
+		// fmPass runs this level's FM refinement: the deterministic-parallel
+		// colored schedule at or above FMParThreshold, the serial heap pass
+		// below it (both share hs.fm's arena). The two are distinct
+		// deterministic algorithms, so the threshold changes cuts but every
+		// Workers value still reproduces Workers=1 bit for bit.
+		fmPass := func(passes int) {
+			t := time.Now()
+			cfg := fm.Config{MaxPasses: passes, Workers: c.Workers, Objective: c.Objective, Stop: c.Stop, Scratch: &hs.fm}
+			if c.FMParThreshold > 0 && n >= c.FMParThreshold {
+				fm.RefineEvalPar(lvl.Graph, fine, ev, cfg)
+			} else {
+				fm.RefineEval(lvl.Graph, fine, ev, cfg)
+			}
+			stats.RefineFM += time.Since(t)
+		}
+		climb := func(f func()) {
+			t := time.Now()
+			f()
+			stats.RefineClimb += time.Since(t)
+		}
 		switch {
 		case stopped:
 			// Cancellation between levels: skip this level's refinement
@@ -534,8 +584,10 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 			// connectivity, gain heaps) dominate wall time and allocation up
 			// here, so refine with the size-constrained label-propagation
 			// sweep instead, then drain any inherited imbalance.
+			t := time.Now()
 			lp.RefineEval(lvl.Graph, fine, ev, lp.Config{MaxPasses: c.RefinePasses, Workers: c.Workers, Stop: c.Stop, Scratch: &hs.lp})
-			kl.RebalancePar(lvl.Graph, fine, ev, c.Objective, c.Workers)
+			stats.RefineLP += time.Since(t)
+			climb(func() { kl.RebalancePar(lvl.Graph, fine, ev, c.Objective, c.Workers) })
 		case c.Refiner == RefineKLFM:
 			// Climb first (each pass is cheap and takes every strictly
 			// improving move), then a single FM pass to slide through the
@@ -543,18 +595,18 @@ func Partition(g *graph.Graph, cfg Config, inner Partitioner) (*partition.Partit
 			// climb-and-rebalance to harvest what FM exposed. Under CommVolume
 			// the FM step is skipped (fm does not support that objective), so
 			// the combination degrades to pure colored climbing.
-			kl.HillClimbColoredStop(lvl.Graph, fine, c.Objective, c.RefinePasses, c.Workers, ev, c.Stop)
+			climb(func() { kl.HillClimbColoredStop(lvl.Graph, fine, c.Objective, c.RefinePasses, c.Workers, ev, c.Stop) })
 			if c.Objective != partition.CommVolume {
-				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: 1, Workers: c.Workers, Objective: c.Objective, Stop: c.Stop, Scratch: &hs.fm})
+				fmPass(1)
 			}
-			kl.RefineEvalParStop(lvl.Graph, fine, ev, c.Objective, 1, c.Workers, c.Stop)
+			climb(func() { kl.RefineEvalParStop(lvl.Graph, fine, ev, c.Objective, 1, c.Workers, c.Stop) })
 		case c.Refiner == RefineKL:
-			kl.RefineEvalParStop(lvl.Graph, fine, ev, c.Objective, c.RefinePasses, c.Workers, c.Stop)
+			climb(func() { kl.RefineEvalParStop(lvl.Graph, fine, ev, c.Objective, c.RefinePasses, c.Workers, c.Stop) })
 		case c.Refiner == RefineFM:
 			if c.Objective != partition.CommVolume {
-				fm.RefineEval(lvl.Graph, fine, ev, fm.Config{MaxPasses: c.RefinePasses, Workers: c.Workers, Objective: c.Objective, Stop: c.Stop, Scratch: &hs.fm})
+				fmPass(c.RefinePasses)
 			}
-			kl.RebalancePar(lvl.Graph, fine, ev, c.Objective, c.Workers)
+			climb(func() { kl.RebalancePar(lvl.Graph, fine, ev, c.Objective, c.Workers) })
 		}
 		stats.Refine += time.Since(start)
 		stats.RefineBytes += allocSnap(meter) - alloc

@@ -264,6 +264,43 @@ func TestQuickPartitionWorkersBitIdentical(t *testing.T) {
 	}
 }
 
+// Forcing FMParThreshold to 1 routes every level's FM through the
+// deterministic-parallel colored schedule, so the full V-cycle must still
+// reproduce the Workers=1 partition bit for bit at every width — the
+// cross-layer pin of the parallel FM pass in its production seat.
+func TestPartitionFMParWorkersBitIdentical(t *testing.T) {
+	for seed := int64(1); seed <= 2; seed++ {
+		graphs := map[string]*graph.Graph{
+			"mesh":     gen.Mesh(700, seed),
+			"weighted": randomWeightedGraph(500, seed*23),
+		}
+		for name, g := range graphs {
+			for _, obj := range []partition.Objective{partition.TotalCut, partition.WorstCut} {
+				for _, ref := range []Refiner{RefineKLFM, RefineFM} {
+					cfg := Config{Parts: 4, Seed: seed, Refiner: ref, Objective: obj, FMParThreshold: 1, Workers: 1}
+					base, err := Partition(g, cfg, klInner)
+					if err != nil {
+						t.Fatalf("%s %v %v: %v", name, ref, obj, err)
+					}
+					for _, workers := range []int{2, 4, 8} {
+						cfg.Workers = workers
+						p, err := Partition(g, cfg, klInner)
+						if err != nil {
+							t.Fatalf("%s %v %v workers=%d: %v", name, ref, obj, workers, err)
+						}
+						for v := range p.Assign {
+							if p.Assign[v] != base.Assign[v] {
+								t.Fatalf("%s seed=%d %v %v workers=%d: node %d differs",
+									name, seed, ref, obj, workers, v)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
 func randomWeightedGraph(n int, seed int64) *graph.Graph {
 	rng := rand.New(rand.NewSource(seed))
 	b := graph.NewBuilder(n)
@@ -300,5 +337,13 @@ func TestPartitionStats(t *testing.T) {
 	}
 	if st.Project <= 0 || st.Refine <= 0 {
 		t.Errorf("uncoarsening timings not populated: %+v", st)
+	}
+	// The default refiner is KLFM: climbs and FM passes both run, so the
+	// per-family breakdown must be populated and bounded by the total.
+	if st.RefineClimb <= 0 || st.RefineFM <= 0 {
+		t.Errorf("refine breakdown not populated: %+v", st)
+	}
+	if st.RefineLP+st.RefineClimb+st.RefineFM > st.Refine {
+		t.Errorf("refine breakdown exceeds total: %+v", st)
 	}
 }

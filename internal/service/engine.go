@@ -785,11 +785,13 @@ func (e *Engine) snapshotLocked(j *job) JobInfo {
 // normalizeOptions canonicalizes the fields that may not influence the
 // result: Workers and EvalWorkers are pure speed knobs (the internal/par
 // bit-identity contract), so they are zeroed out of the cache key and
-// replaced by the engine's own execution width, and Ctx is per-submission
-// plumbing that never belongs in a key or an entry.
+// replaced by the engine's own execution width, Ctx is per-submission
+// plumbing that never belongs in a key or an entry, and MultilevelStats is
+// an output-only sink.
 func normalizeOptions(o algo.Options) algo.Options {
 	o.Workers = 0
 	o.EvalWorkers = 0
 	o.Ctx = nil
+	o.MultilevelStats = nil
 	return o
 }
